@@ -1,0 +1,87 @@
+// Ablation of the cell-size choice (Fig. 3, Eq. 3): with the cell edge c
+// expressed in cutoff units, a particle must be paired against every
+// particle in the (2·ceil(1/c)+1)³-cell neighbourhood, of which only the
+// cutoff sphere's fraction P(c) = (4π/3)/(27·c³ · …) survives the filter.
+//
+//   c < 1: more (and more distant) cells to evaluate and route between —
+//          drastically more inter-cell communication;
+//   c = 1: the paper's choice — 26 neighbour cells, P = 15.5 %;
+//   c > 1: fewer cells but the filter discards an ever larger margin.
+//
+// Both the analytic fraction and an empirical measurement on a uniform
+// random dataset are reported.
+//
+//   ./ablation_cellsize [--per-cell N]
+
+#include <cmath>
+#include <numbers>
+
+#include "bench_common.hpp"
+#include "fasda/md/energy.hpp"
+
+namespace {
+
+using namespace fasda;
+
+/// Cells in the neighbourhood that can contain a pair partner when the
+/// cell edge is `c` cutoffs: (2*ceil(1/c)+1)^3.
+int neighborhood_cells(double c) {
+  const int reach = static_cast<int>(std::ceil(1.0 / c - 1e-12));
+  const int width = 2 * reach + 1;
+  return width * width * width;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fasda;
+  const util::Cli cli(argc, argv);
+  const int per_cell = static_cast<int>(cli.get_or("per-cell", 16L));
+
+  bench::print_header(
+      "Ablation -- cell size vs cutoff (Fig. 3 / Eq. 3 trade-off)");
+  std::printf(
+      "%-10s %8s %12s %12s %12s\n", "cell/R_c", "cells", "P analytic",
+      "P measured", "pairs/N");
+
+  const double rc = 8.5;
+  for (const double c : {0.5, 2.0 / 3.0, 1.0, 1.5, 2.0}) {
+    const int cells = neighborhood_cells(c);
+    // Analytic acceptance: cutoff-sphere volume over neighbourhood volume.
+    const double p_analytic =
+        (4.0 / 3.0) * std::numbers::pi /
+        (static_cast<double>(cells) * c * c * c);
+
+    // Empirical: uniform dataset in cells of edge c·R_c; count pairs within
+    // R_c against candidates in the neighbourhood.
+    md::DatasetParams params;
+    params.placement = md::Placement::kUniform;
+    params.particles_per_cell =
+        std::max(1, static_cast<int>(per_cell * c * c * c));
+    params.min_distance = 0.8;
+    params.seed = 99;
+    const int dims = std::max(3, static_cast<int>(std::ceil(3.0 / c)));
+    const auto state = md::generate_dataset({dims, dims, dims}, c * rc,
+                                            md::ForceField::sodium(), params);
+    const std::size_t pairs = md::count_pairs_within_cutoff(state, rc);
+    const double density =
+        static_cast<double>(state.size()) /
+        (std::pow(dims * c * rc, 3));
+    const double candidates_per_particle =
+        static_cast<double>(cells) * density * std::pow(c * rc, 3);
+    const double p_measured =
+        2.0 * static_cast<double>(pairs) /
+        (static_cast<double>(state.size()) * candidates_per_particle);
+
+    std::printf("%-10.3f %8d %11.1f%% %11.1f%% %12.1f\n", c, cells,
+                100.0 * p_analytic, 100.0 * p_measured,
+                2.0 * static_cast<double>(pairs) /
+                    static_cast<double>(state.size()));
+  }
+
+  std::printf(
+      "\nAt c = 1 (the paper's choice) the filter passes ~15.5%% (Eq. 3) with\n"
+      "only 26 neighbour cells; smaller cells multiply the cells to route\n"
+      "between, larger cells drown the filters in out-of-range candidates.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#pragma once
+// Shared helpers for the paper-reproduction bench binaries: configuration
+// builders for every design variant evaluated in §5 and a dataset factory
+// matching §5.1 (64 random sodium atoms per cell, R_c = 8.5 Å, Δt = 2 fs).
+
+#include <cstdio>
+#include <string>
+
+#include "fasda/core/simulation.hpp"
+#include "fasda/md/dataset.hpp"
+#include "fasda/util/cli.hpp"
+
+namespace fasda::bench {
+
+inline md::SystemState standard_dataset(geom::IVec3 cells, int per_cell = 64,
+                                        std::uint64_t seed = 0x5eed) {
+  md::DatasetParams params;
+  params.particles_per_cell = per_cell;
+  params.seed = seed;
+  params.temperature = 300.0;
+  return md::generate_dataset(cells, 8.5, md::ForceField::sodium(), params);
+}
+
+/// Weak-scaling variants: each FPGA owns 3x3x3 cells (Table 1 rows 1-4).
+inline core::ClusterConfig weak_config(geom::IVec3 node_dims) {
+  core::ClusterConfig config;
+  config.node_dims = node_dims;
+  config.cells_per_node = {3, 3, 3};
+  return config;
+}
+
+/// Strong-scaling variants on the 4x4x4 space with 8 FPGAs of 2x2x2 cells:
+/// A = 1 SPE x 1 PE, B = 1 SPE x 3 PE, C = 2 SPE x 3 PE (§5.2).
+inline core::ClusterConfig strong_config(int pes_per_spe, int spes) {
+  core::ClusterConfig config;
+  config.node_dims = {2, 2, 2};
+  config.cells_per_node = {2, 2, 2};
+  config.pes_per_spe = pes_per_spe;
+  config.spes = spes;
+  return config;
+}
+
+/// The §5.2 right-panel simulated large clusters: every FPGA owns 2x2x2
+/// cells in the strongest configuration.
+inline core::ClusterConfig large_config(geom::IVec3 node_dims) {
+  core::ClusterConfig config;
+  config.node_dims = node_dims;
+  config.cells_per_node = {2, 2, 2};
+  config.pes_per_spe = 3;
+  config.spes = 2;
+  return config;
+}
+
+struct VariantRow {
+  std::string name;
+  core::ClusterConfig config;
+  geom::IVec3 cells;
+};
+
+/// The seven design variants of Fig. 17 / Table 1, in paper order.
+inline std::vector<VariantRow> table1_variants() {
+  return {
+      {"3x3x3", weak_config({1, 1, 1}), {3, 3, 3}},
+      {"6x3x3", weak_config({2, 1, 1}), {6, 3, 3}},
+      {"6x6x3", weak_config({2, 2, 1}), {6, 6, 3}},
+      {"6x6x6", weak_config({2, 2, 2}), {6, 6, 6}},
+      {"4x4x4-A", strong_config(1, 1), {4, 4, 4}},
+      {"4x4x4-B", strong_config(3, 1), {4, 4, 4}},
+      {"4x4x4-C", strong_config(3, 2), {4, 4, 4}},
+  };
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace fasda::bench

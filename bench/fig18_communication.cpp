@@ -1,0 +1,93 @@
+// Reproduces Figure 18: (A) average per-FPGA bandwidth demand for
+// positions and forces in the multi-FPGA designs, and (B/C) the breakdown
+// of position/force traffic by destination node, which shows that an FPGA
+// communicates intensely only with its logical neighbours (forces more so,
+// because zero forces to diagonal nodes are discarded, §5.4).
+//
+// Flags:
+//   --iters N      timesteps per design (default 2)
+//   --cooldown N   ablation: egress cooldown counter (default 2)
+
+#include <map>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace fasda;
+
+void breakdown(const char* label, const net::TrafficMatrix& traffic,
+               idmap::NodeId src, int num_nodes) {
+  std::uint64_t total = 0;
+  std::map<idmap::NodeId, std::uint64_t> out;
+  for (const auto& [pair, packets] : traffic.packets) {
+    if (pair.first == src) {
+      out[pair.second] += packets;
+      total += packets;
+    }
+  }
+  std::printf("  %s from node %d:", label, src);
+  for (idmap::NodeId dst = 0; dst < num_nodes; ++dst) {
+    if (dst == src) {
+      std::printf("    -- ");
+      continue;
+    }
+    const auto it = out.find(dst);
+    const double pct =
+        total == 0 || it == out.end()
+            ? 0.0
+            : 100.0 * static_cast<double>(it->second) / static_cast<double>(total);
+    std::printf(" %5.1f%%", pct);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fasda;
+  const util::Cli cli(argc, argv);
+  const int iters = static_cast<int>(cli.get_or("iters", 2L));
+  const int cooldown = static_cast<int>(cli.get_or("cooldown", 2L));
+
+  bench::print_header("Figure 18 -- Communication bandwidth demand and breakdown");
+  if (cooldown != 2) std::printf("[ablation: cooldown = %d cycles]\n", cooldown);
+
+  struct Design {
+    const char* name;
+    core::ClusterConfig config;
+    geom::IVec3 cells;
+  };
+  const Design designs[] = {
+      {"6x6x6 (1 PE)", bench::weak_config({2, 2, 2}), {6, 6, 6}},
+      {"4x4x4-B (1 SPE, 3 PE)", bench::strong_config(3, 1), {4, 4, 4}},
+      {"4x4x4-C (2 SPE, 3 PE)", bench::strong_config(3, 2), {4, 4, 4}},
+  };
+
+  std::printf("\n(A) Average per-FPGA bandwidth demand (Gbps @ 200 MHz)\n");
+  std::printf("%-24s %10s %10s   (paper: < 25 Gbps each, C highest)\n",
+              "design", "positions", "forces");
+
+  for (const Design& d : designs) {
+    auto config = d.config;
+    config.channel.cooldown = cooldown;
+    const auto state = bench::standard_dataset(d.cells);
+    core::Simulation sim(state, md::ForceField::sodium(), config);
+    sim.run(iters);
+    const auto t = sim.traffic();
+    std::printf("%-24s %10.2f %10.2f\n", d.name, t.position_gbps_per_node,
+                t.force_gbps_per_node);
+
+    if (&d == &designs[2]) {
+      std::printf(
+          "\n(B/C) Traffic breakdown by destination node, design C, 2x2x2 "
+          "torus (dst 0..7)\n");
+      breakdown("positions", t.positions, 0, sim.num_nodes());
+      breakdown("forces   ", t.forces, 0, sim.num_nodes());
+      std::printf(
+          "  (expect: faces > edges > corner; forces steeper because zero\n"
+          "   forces to distant nodes are discarded rather than returned)\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// The paper's generality claim in action (§3.4: the table-lookup method
+// "supports generality by enabling different force models to be implemented
+// with trivial modification"): a molten NaCl system with BOTH range-limited
+// components enabled — Lennard-Jones plus the Ewald real-space
+// electrostatic term — running through the same pipelines with one extra
+// table. Dumps an extended-XYZ trajectory and prints the Na-Cl radial
+// distribution function, whose contact peak shows the expected unlike-ion
+// ordering.
+//
+//   ./custom_force_model [--steps N] [--out /tmp/nacl.xyz]
+
+#include <cstdio>
+
+#include "fasda/md/analysis.hpp"
+#include "fasda/md/dataset.hpp"
+#include "fasda/md/functional_engine.hpp"
+#include "fasda/md/xyz_io.hpp"
+#include "fasda/util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fasda;
+  const util::Cli cli(argc, argv);
+  const int steps = static_cast<int>(cli.get_or("steps", 400L));
+  const std::string out_path = cli.get_or("out", "/tmp/nacl_trajectory.xyz");
+
+  const md::ForceField ff = md::ForceField::sodium_chloride();
+  md::DatasetParams params;
+  // 8 ions per cell: a 2x2x2 rock-salt checkerboard, 4.25 Å Na-Cl contact —
+  // comfortably integrable at Δt = 2 fs even at melt temperatures.
+  params.particles_per_cell = 8;
+  params.temperature = 1200.0;  // molten salt
+  params.elements = md::ElementAssignment::kAlternating;
+  const auto state = md::generate_dataset({4, 4, 4}, 8.5, ff, params);
+
+  md::FunctionalConfig config;
+  config.cutoff = 8.5;
+  config.dt = 2.0;
+  config.threads = 2;
+  config.terms.lj = true;
+  config.terms.ewald_real = true;  // the PME short-range component (§2.1)
+  config.terms.ewald_beta = 0.3;
+
+  md::FunctionalEngine engine(state, ff, config);
+  md::XyzWriter writer(out_path, ff);
+  writer.write(state, "step=0");
+
+  const double e0 = engine.total_energy();
+  std::printf("molten NaCl: %zu ions, LJ + Ewald real-space (beta=%.2f)\n",
+              state.size(), config.terms.ewald_beta);
+  std::printf("%8s %14s %10s\n", "step", "E (internal)", "T (K)");
+  for (int done = 0; done < steps;) {
+    engine.step(100);
+    done += 100;
+    const auto snapshot = engine.state();
+    writer.write(snapshot, "step=" + std::to_string(done));
+    std::printf("%8d %14.6f %10.1f\n", done, engine.total_energy(),
+                md::temperature(snapshot, ff));
+  }
+  std::printf("energy drift: %.2e (relative)\n",
+              std::abs(engine.total_energy() - e0) / std::abs(e0));
+  std::printf("trajectory  : %s (%d frames)\n", out_path.c_str(),
+              writer.frames_written());
+
+  // Unlike-ion structure: g(r) for Na-Cl peaks at contact, Na-Na is pushed
+  // outward by the Coulomb repulsion.
+  const auto final_state = engine.state();
+  const auto na_cl = md::radial_distribution(final_state, 8.0, 32, 0, 1);
+  const auto na_na = md::radial_distribution(final_state, 8.0, 32, 0, 0);
+  std::printf("\n%6s %10s %10s\n", "r (A)", "g(Na-Cl)", "g(Na-Na)");
+  for (std::size_t b = 6; b < 32; b += 2) {
+    std::printf("%6.2f %10.2f %10.2f\n", na_cl.r(b), na_cl.g[b], na_na.g[b]);
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Lead-evaluation workflow sketched in the paper's introduction: drug
+// discovery iterates MD over many small candidate systems (~thousands of
+// atoms), so what matters is time-to-solution per candidate — the strong
+// scaling regime where FASDA's 8-FPGA configuration beats GPUs.
+//
+// This example screens an ensemble of candidate systems (different seeds
+// and temperatures standing in for different ligand poses): each candidate
+// is equilibrated with velocity rescaling, run for a scoring window using
+// the FASDA numerics (FunctionalEngine — bit-faithful to the hardware, fast
+// on a CPU), and scored by its mean potential energy. The projected
+// wall-clock per candidate on the 8-FPGA variant C cluster is measured once
+// with the cycle-level simulator.
+//
+//   ./drug_screening [--candidates N] [--steps N]
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "fasda/core/simulation.hpp"
+#include "fasda/md/analysis.hpp"
+#include "fasda/md/dataset.hpp"
+#include "fasda/md/functional_engine.hpp"
+#include "fasda/md/units.hpp"
+#include "fasda/util/cli.hpp"
+
+namespace {
+
+struct Candidate {
+  std::uint64_t seed;
+  double temperature;
+  double score = 0.0;  ///< mean potential energy over the scoring window
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fasda;
+  const util::Cli cli(argc, argv);
+  const int num_candidates = static_cast<int>(cli.get_or("candidates", 4L));
+  const int steps = static_cast<int>(cli.get_or("steps", 100L));
+
+  const md::ForceField ff = md::ForceField::sodium();
+  std::vector<Candidate> candidates;
+  for (int i = 0; i < num_candidates; ++i) {
+    candidates.push_back(
+        {0x1000 + static_cast<std::uint64_t>(i), 280.0 + 10.0 * (i % 4)});
+  }
+
+  std::printf("screening %d candidates, %d production steps each\n\n",
+              num_candidates, steps);
+  std::printf("%-10s %8s %16s %14s\n", "candidate", "T (K)", "score (kcal/mol)",
+              "drift (rel)");
+
+  for (auto& c : candidates) {
+    md::DatasetParams params;
+    params.particles_per_cell = 64;
+    params.seed = c.seed;
+    params.temperature = c.temperature;
+    auto state = md::generate_dataset({3, 3, 3}, 8.5, ff, params);
+
+    // Equilibrate: a short run with velocity rescaling every 25 steps.
+    md::FunctionalConfig config;
+    config.cutoff = 8.5;
+    config.dt = 2.0;
+    config.threads = 2;
+    std::optional<md::FunctionalEngine> engine_slot;
+    engine_slot.emplace(state, ff, config);
+    for (int block = 0; block < 4; ++block) {
+      engine_slot->step(25);
+      auto snapshot = engine_slot->state();
+      md::rescale_to_temperature(snapshot, ff, c.temperature);
+      engine_slot.emplace(snapshot, ff, config);
+    }
+    md::FunctionalEngine& engine = *engine_slot;
+
+    // Production: score = mean potential energy; drift sanity-checks Δt.
+    const double e0 = engine.total_energy();
+    double pe_sum = 0.0;
+    int samples = 0;
+    for (int done = 0; done < steps; done += 50) {
+      engine.step(std::min(50, steps - done));
+      pe_sum += engine.potential_energy();
+      ++samples;
+    }
+    c.score = md::units::to_kcal_per_mol(pe_sum / samples) /
+              static_cast<double>(engine.size());
+    const double drift = std::abs(engine.total_energy() - e0) / std::abs(e0);
+    std::printf("%-10llu %8.0f %16.4f %14.2e\n",
+                static_cast<unsigned long long>(c.seed), c.temperature, c.score,
+                drift);
+  }
+
+  const auto best = std::min_element(
+      candidates.begin(), candidates.end(),
+      [](const Candidate& a, const Candidate& b) { return a.score < b.score; });
+  std::printf("\nbest candidate by mean PE: seed %llu\n",
+              static_cast<unsigned long long>(best->seed));
+
+  // Projected turnaround on the hardware: variant C, 8 FPGAs (§5.2's
+  // strongest configuration), measured by the cycle-level simulator.
+  md::DatasetParams params;
+  params.particles_per_cell = 64;
+  params.seed = best->seed;
+  const auto state = md::generate_dataset({4, 4, 4}, 8.5, ff, params);
+  core::ClusterConfig cluster;
+  cluster.node_dims = {2, 2, 2};
+  cluster.cells_per_node = {2, 2, 2};
+  cluster.pes_per_spe = 3;
+  cluster.spes = 2;
+  core::Simulation sim(state, ff, cluster);
+  sim.run(2);
+  const double rate = sim.microseconds_per_day();  // µs of MD per day
+  const double us_per_candidate = 10.0;  // a long-timescale scoring run
+  const double days = us_per_candidate / rate;
+  std::printf(
+      "\n8-FPGA variant C: %.1f us/day -> a %.0f us scoring run per candidate "
+      "takes %.1f days\n",
+      rate, us_per_candidate, days);
+  std::printf("(the paper's best GPU manages ~2 us/day: %.1f days, %.1fx longer)\n",
+              us_per_candidate / 2.0, rate / 2.0);
+  return 0;
+}

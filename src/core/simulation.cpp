@@ -1,0 +1,224 @@
+#include "fasda/core/simulation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fasda/md/energy.hpp"
+
+namespace fasda::core {
+
+Simulation::Simulation(const md::SystemState& state, md::ForceField ff,
+                       const ClusterConfig& config)
+    : ff_(std::move(ff)),
+      config_(config),
+      map_(config.node_dims, config.cells_per_node),
+      num_particles_(state.size()) {
+  if (state.cell_dims != map_.global_dims()) {
+    throw std::invalid_argument(
+        "Simulation: state.cell_dims must equal node_dims * cells_per_node");
+  }
+  if (std::abs(state.cell_size - config.cutoff) > 1e-9) {
+    throw std::invalid_argument(
+        "Simulation: cell_size must equal the cutoff (R_c normalized to one "
+        "cell edge, §3.4)");
+  }
+
+  model_ = std::make_unique<pe::ForceModel>(ff_, config.cutoff, config.table,
+                                            config.terms);
+  pos_fabric_ = std::make_unique<net::Fabric<net::PosRecord>>(config.channel);
+  frc_fabric_ = std::make_unique<net::Fabric<net::FrcRecord>>(config.channel);
+  mig_fabric_ = std::make_unique<net::Fabric<net::MigRecord>>(config.channel);
+  if (config.sync_mode == sync::SyncMode::kBulk) {
+    barrier_ = std::make_unique<sync::BulkBarrier>(map_.num_nodes(),
+                                                   config.bulk_barrier_latency);
+  }
+
+  fpga::NodeConfig node_config;
+  node_config.cbb.pes_per_spe = config.pes_per_spe;
+  node_config.cbb.spes = config.spes;
+  node_config.cbb.pe.num_filters = config.filters_per_pipeline;
+  node_config.cbb.pe.pipeline_latency = config.pipeline_latency;
+  node_config.cbb.pe.pair_buffer_depth =
+      static_cast<std::size_t>(config.pe_pair_buffer_depth);
+  node_config.cbb.pe.input_queue_depth =
+      static_cast<std::size_t>(config.pe_input_queue_depth);
+  node_config.sync_mode = config.sync_mode;
+
+  for (idmap::NodeId id = 0; id < map_.num_nodes(); ++id) {
+    fpga::NodeConfig per_node = node_config;
+    for (const auto& [straggler, factor] : config.stragglers) {
+      if (straggler == id) per_node.slowdown = factor;
+    }
+    nodes_.push_back(std::make_unique<fpga::FpgaNode>(
+        id, per_node, *model_, map_, pos_fabric_.get(), frc_fabric_.get(),
+        mig_fabric_.get(), barrier_.get()));
+    nodes_.back()->register_with(scheduler_);
+  }
+
+  // Load particles into the owning CBBs' caches.
+  const geom::CellGrid grid = state.grid();
+  const double inv_cell = 1.0 / state.cell_size;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    const geom::Vec3d p = grid.wrap_position(state.positions[i]);
+    const geom::IVec3 gcell = grid.cell_of(p);
+    const geom::IVec3 node = map_.node_of_cell(gcell);
+    const geom::IVec3 lcell = map_.local_cell(gcell);
+    pe::CellParticle particle;
+    particle.pos = {
+        fixed::FixedCoord::from_cell_offset(2, p.x * inv_cell - gcell.x),
+        fixed::FixedCoord::from_cell_offset(2, p.y * inv_cell - gcell.y),
+        fixed::FixedCoord::from_cell_offset(2, p.z * inv_cell - gcell.z)};
+    particle.vel = state.velocities[i].cast<float>();
+    particle.elem = state.elements[i];
+    particle.id = static_cast<std::uint32_t>(i);
+    nodes_[map_.node_id(node)]->cbb_at(lcell).particles().push_back(particle);
+  }
+}
+
+Simulation::~Simulation() = default;
+
+void Simulation::run(int iterations) {
+  if (iterations <= 0) return;
+  const sim::Cycle start = scheduler_.cycle();
+  for (auto& node : nodes_) {
+    node->start(iterations, static_cast<float>(config_.dt), config_.cutoff, ff_);
+  }
+  const sim::Cycle budget =
+      start + config_.max_cycles_per_iteration * static_cast<sim::Cycle>(iterations);
+  scheduler_.run_until(
+      [&] {
+        for (const auto& node : nodes_) {
+          if (!node->done()) return false;
+        }
+        return true;
+      },
+      budget);
+  last_run_cycles_ = scheduler_.cycle() - start;
+  last_run_iterations_ = iterations;
+}
+
+md::SystemState Simulation::state() const {
+  md::SystemState out;
+  out.cell_dims = map_.global_dims();
+  out.cell_size = config_.cutoff;
+  out.positions.resize(num_particles_);
+  out.velocities.resize(num_particles_);
+  out.elements.resize(num_particles_);
+  for (const auto& node : nodes_) {
+    for (int c = 0; c < node->num_cbbs(); ++c) {
+      const cbb::Cbb& block = node->cbb_by_index(c);
+      const geom::IVec3 gcell = block.global_cell();
+      for (const pe::CellParticle& p : block.particles()) {
+        out.positions[p.id] = {(gcell.x + p.pos.x.frac()) * config_.cutoff,
+                               (gcell.y + p.pos.y.frac()) * config_.cutoff,
+                               (gcell.z + p.pos.z.frac()) * config_.cutoff};
+        out.velocities[p.id] = p.vel.cast<double>();
+        out.elements[p.id] = p.elem;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<geom::Vec3f> Simulation::forces_by_particle() const {
+  std::vector<geom::Vec3f> out(num_particles_);
+  for (const auto& node : nodes_) {
+    for (int c = 0; c < node->num_cbbs(); ++c) {
+      const cbb::Cbb& block = node->cbb_by_index(c);
+      const auto& particles = block.particles();
+      const auto& forces = block.forces();
+      for (std::size_t s = 0; s < forces.size() && s < particles.size(); ++s) {
+        out[particles[s].id] = forces[s];
+      }
+    }
+  }
+  return out;
+}
+
+double Simulation::potential_energy() const {
+  return md::compute_potential_energy(state(), ff_, config_.cutoff,
+                                      config_.terms);
+}
+
+double Simulation::total_energy() const {
+  const md::SystemState s = state();
+  return md::compute_potential_energy(s, ff_, config_.cutoff, config_.terms) +
+         md::kinetic_energy(s, ff_);
+}
+
+sim::Cycle Simulation::total_cycles() const { return scheduler_.cycle(); }
+
+double Simulation::microseconds_per_day() const {
+  if (last_run_cycles_ == 0 || last_run_iterations_ == 0) return 0.0;
+  const double cycles_per_step = static_cast<double>(last_run_cycles_) /
+                                 static_cast<double>(last_run_iterations_);
+  const double seconds_per_step = cycles_per_step / config_.clock_hz;
+  const double steps_per_day = 86400.0 / seconds_per_step;
+  return steps_per_day * config_.dt * 1e-9;  // fs -> µs
+}
+
+UtilizationReport Simulation::utilization() const {
+  sim::UtilCounter pr, fr, filter, pe, mu;
+  for (const auto& node : nodes_) {
+    pr.merge(node->pos_ring_util());
+    fr.merge(node->frc_ring_util());
+    filter.merge(node->filter_util());
+    pe.merge(node->pe_util());
+    mu.merge(node->mu_util());
+  }
+  UtilizationReport out;
+  const auto total = scheduler_.cycle();
+  // Time-utilization denominators: one "instance" per component whose
+  // active flag was recorded each tick. Rings and PEs record once per tick,
+  // so active/capacity-style normalization uses the instance counts below.
+  std::uint64_t ring_instances = 0, pe_instances = 0, cbb_instances = 0;
+  for (const auto& node : nodes_) {
+    ring_instances += static_cast<std::uint64_t>(config_.spes);
+    pe_instances += static_cast<std::uint64_t>(node->num_cbbs()) *
+                    config_.spes * config_.pes_per_spe;
+    cbb_instances += static_cast<std::uint64_t>(node->num_cbbs());
+  }
+  out.pr_hardware = pr.hardware_utilization();
+  out.pr_time = pr.time_utilization(total, ring_instances);
+  out.fr_hardware = fr.hardware_utilization();
+  out.fr_time = fr.time_utilization(total, ring_instances);
+  out.filter_hardware = filter.hardware_utilization();
+  out.filter_time = filter.time_utilization(total, pe_instances);
+  out.pe_hardware = pe.hardware_utilization();
+  out.pe_time = pe.time_utilization(total, pe_instances);
+  out.mu_hardware = mu.hardware_utilization();
+  out.mu_time = mu.time_utilization(total, cbb_instances);
+  return out;
+}
+
+TrafficReport Simulation::traffic() const {
+  TrafficReport out;
+  out.positions = pos_fabric_->traffic();
+  out.forces = frc_fabric_->traffic();
+  out.migrations = mig_fabric_->traffic();
+  const double cycles = static_cast<double>(scheduler_.cycle());
+  if (cycles > 0 && !nodes_.empty()) {
+    const double bits_per_cycle_to_gbps = config_.clock_hz / 1e9;
+    const double n = static_cast<double>(nodes_.size());
+    out.position_gbps_per_node =
+        static_cast<double>(out.positions.total_packets) * net::kPacketBits /
+        cycles * bits_per_cycle_to_gbps / n;
+    out.force_gbps_per_node =
+        static_cast<double>(out.forces.total_packets) * net::kPacketBits /
+        cycles * bits_per_cycle_to_gbps / n;
+  }
+  return out;
+}
+
+const std::vector<sim::Cycle>& Simulation::force_phase_starts(
+    idmap::NodeId node) const {
+  return nodes_.at(node)->force_phase_starts();
+}
+
+std::uint64_t Simulation::pairs_issued() const {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) n += node->pairs_issued();
+  return n;
+}
+
+}  // namespace fasda::core

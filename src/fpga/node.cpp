@@ -1,0 +1,516 @@
+#include "fasda/fpga/node.hpp"
+
+#include <cassert>
+
+namespace fasda::fpga {
+
+namespace {
+std::string node_name(NodeId id) { return "node" + std::to_string(id); }
+}  // namespace
+
+// ------------------------------------------------------------- EX stations
+
+/// Position EX: arrivals only (positions depart through the P2R chain at
+/// their source CBB, §4.3), spliced into the ring as an extra node.
+class FpgaNode::PosExStation : public ring::Station<ring::PosToken> {
+ public:
+  explicit PosExStation(sim::Fifo<ring::PosToken>* inject) : inject_(inject) {}
+  Action classify(const ring::PosToken&) const override { return Action::kPass; }
+  bool try_deliver(ring::PosToken&) override { return false; }
+  sim::Fifo<ring::PosToken>* inject_source() override { return inject_; }
+
+ private:
+  sim::Fifo<ring::PosToken>* inject_;
+};
+
+/// Force EX: extracts tokens whose destination cell lies on another node
+/// (F2R departure gates) and injects remote arrivals.
+class FpgaNode::FrcExStation : public ring::Station<ring::ForceToken> {
+ public:
+  FrcExStation(FpgaNode* node, sim::Fifo<ring::ForceToken>* inject)
+      : node_(node), inject_(inject) {}
+
+  Action classify(const ring::ForceToken& t) const override {
+    const geom::IVec3& cpn = node_->map_.cells_per_node();
+    const bool local = t.dest_lcid.x < cpn.x && t.dest_lcid.y < cpn.y &&
+                       t.dest_lcid.z < cpn.z;
+    return local ? Action::kPass : Action::kDeliverAndDrop;
+  }
+
+  bool try_deliver(ring::ForceToken& t) override {
+    const idmap::ClusterMap& map = node_->map_;
+    const geom::IVec3 origin = map.global_cell(node_->node_coords_, {0, 0, 0});
+    const geom::IVec3 gcell = map.grid().wrap(t.dest_lcid + origin);
+    const NodeId dst = map.node_id(map.node_of_cell(gcell));
+    node_->frc_ep_.enqueue(dst, net::FrcRecord{gcell, t.force, t.slot});
+    return true;
+  }
+
+  sim::Fifo<ring::ForceToken>* inject_source() override { return inject_; }
+
+ private:
+  FpgaNode* node_;
+  sim::Fifo<ring::ForceToken>* inject_;
+};
+
+class FpgaNode::MigExStation : public ring::Station<ring::MigrateToken> {
+ public:
+  MigExStation(FpgaNode* node, sim::Fifo<ring::MigrateToken>* inject)
+      : node_(node), inject_(inject) {}
+
+  Action classify(const ring::MigrateToken& t) const override {
+    const geom::IVec3& cpn = node_->map_.cells_per_node();
+    const bool local = t.dest_lcid.x < cpn.x && t.dest_lcid.y < cpn.y &&
+                       t.dest_lcid.z < cpn.z;
+    return local ? Action::kPass : Action::kDeliverAndDrop;
+  }
+
+  bool try_deliver(ring::MigrateToken& t) override {
+    const idmap::ClusterMap& map = node_->map_;
+    const geom::IVec3 origin = map.global_cell(node_->node_coords_, {0, 0, 0});
+    const geom::IVec3 gcell = map.grid().wrap(t.dest_lcid + origin);
+    const NodeId dst = map.node_id(map.node_of_cell(gcell));
+    node_->mig_ep_.enqueue(
+        dst, net::MigRecord{gcell, t.offset, t.vel, t.elem, t.particle_id});
+    return true;
+  }
+
+  sim::Fifo<ring::MigrateToken>* inject_source() override { return inject_; }
+
+ private:
+  FpgaNode* node_;
+  sim::Fifo<ring::MigrateToken>* inject_;
+};
+
+// ------------------------------------------------------------ construction
+
+FpgaNode::FpgaNode(NodeId id, const NodeConfig& config,
+                   const pe::ForceModel& model, const idmap::ClusterMap& map,
+                   net::Fabric<net::PosRecord>* pos_fabric,
+                   net::Fabric<net::FrcRecord>* frc_fabric,
+                   net::Fabric<net::MigRecord>* mig_fabric,
+                   sync::BulkBarrier* barrier)
+    : Component(node_name(id)),
+      id_(id),
+      config_(config),
+      map_(map),
+      node_coords_(map.node_coords(id)),
+      neighbors_(map.neighbor_nodes(id)),
+      pos_ep_(id, pos_fabric->config()),
+      frc_ep_(id, frc_fabric->config()),
+      mig_ep_(id, mig_fabric->config()),
+      pos_fabric_(pos_fabric),
+      frc_fabric_(frc_fabric),
+      mig_fabric_(mig_fabric),
+      chain_(static_cast<int>(neighbors_.size())),
+      barrier_(barrier) {
+  pos_fabric_->attach(&pos_ep_);
+  frc_fabric_->attach(&frc_ep_);
+  mig_fabric_->attach(&mig_ep_);
+
+  const geom::IVec3& cpn = map_.cells_per_node();
+  const int spes = config_.cbb.spes;
+  const std::size_t fifo_depth = config_.cbb.fifo_depth;
+
+  // CBBs in local Eq. 7 CID order.
+  for (int x = 0; x < cpn.x; ++x) {
+    for (int y = 0; y < cpn.y; ++y) {
+      for (int z = 0; z < cpn.z; ++z) {
+        const geom::IVec3 lcell{x, y, z};
+        auto block = std::make_unique<cbb::Cbb>(
+            node_name(id) + "/cbb" + std::to_string(cbbs_.size()), config_.cbb,
+            model, map_, node_coords_, lcell);
+        const geom::IVec3 gcell = map_.global_cell(node_coords_, lcell);
+        auto dests = map_.remote_destinations(gcell);
+        if (!dests.empty()) {
+          block->set_remote_position_sink(
+              [this, dests](const cbb::RemotePosition& rp) {
+                for (const NodeId dst : dests) {
+                  pos_ep_.enqueue(dst, net::PosRecord{rp.src_gcell, rp.offset,
+                                                      rp.elem, rp.slot});
+                }
+              });
+        }
+        cbbs_.push_back(std::move(block));
+      }
+    }
+  }
+
+  // Rings: positions rotate through CBBs in ascending CID order ("clockwise",
+  // matching Eq. 7's travel-time optimization), forces in the opposite
+  // direction. Each ring gets one EX station (§4.1: one extra cycle).
+  for (int s = 0; s < spes; ++s) {
+    ex_pos_inject_.push_back(
+        std::make_unique<sim::Fifo<ring::PosToken>>(fifo_depth));
+    ex_frc_inject_.push_back(
+        std::make_unique<sim::Fifo<ring::ForceToken>>(fifo_depth));
+    pos_ex_.push_back(std::make_unique<PosExStation>(ex_pos_inject_.back().get()));
+    frc_ex_.push_back(
+        std::make_unique<FrcExStation>(this, ex_frc_inject_.back().get()));
+
+    std::vector<ring::Station<ring::PosToken>*> pos_stations;
+    for (auto& c : cbbs_) pos_stations.push_back(&c->pos_station(s));
+    pos_stations.push_back(pos_ex_.back().get());
+    pos_rings_.push_back(std::make_unique<ring::Ring<ring::PosToken>>(
+        node_name(id) + "/pr" + std::to_string(s), std::move(pos_stations)));
+
+    std::vector<ring::Station<ring::ForceToken>*> frc_stations;
+    for (auto it = cbbs_.rbegin(); it != cbbs_.rend(); ++it) {
+      frc_stations.push_back(&(*it)->frc_station(s));
+    }
+    frc_stations.push_back(frc_ex_.back().get());
+    frc_rings_.push_back(std::make_unique<ring::Ring<ring::ForceToken>>(
+        node_name(id) + "/fr" + std::to_string(s), std::move(frc_stations)));
+  }
+
+  pending_pos_.resize(spes);
+  pending_frc_.resize(spes);
+
+  ex_mig_inject_ = std::make_unique<sim::Fifo<ring::MigrateToken>>(fifo_depth);
+  mig_ex_ = std::make_unique<MigExStation>(this, ex_mig_inject_.get());
+  std::vector<ring::Station<ring::MigrateToken>*> mu_stations;
+  for (auto& c : cbbs_) mu_stations.push_back(&c->mu_station());
+  mu_stations.push_back(mig_ex_.get());
+  mu_ring_ = std::make_unique<ring::Ring<ring::MigrateToken>>(
+      node_name(id) + "/mur", std::move(mu_stations));
+}
+
+FpgaNode::~FpgaNode() = default;
+
+void FpgaNode::register_with(sim::Scheduler& scheduler) {
+  scheduler.add(this);
+  auto add_datapath = [&](sim::Component* c) {
+    if (config_.slowdown > 1) {
+      gates_.push_back(std::make_unique<Gated>(c, config_.slowdown));
+      scheduler.add(gates_.back().get());
+    } else {
+      scheduler.add(c);
+    }
+  };
+  for (auto& c : cbbs_) {
+    for (sim::Component* comp : c->components()) add_datapath(comp);
+    for (sim::Clocked* cl : c->clocked()) scheduler.add_clocked(cl);
+  }
+  for (auto& r : pos_rings_) add_datapath(r.get());
+  for (auto& r : frc_rings_) add_datapath(r.get());
+  add_datapath(mu_ring_.get());
+  for (auto& f : ex_pos_inject_) scheduler.add_clocked(f.get());
+  for (auto& f : ex_frc_inject_) scheduler.add_clocked(f.get());
+  scheduler.add_clocked(ex_mig_inject_.get());
+}
+
+cbb::Cbb& FpgaNode::cbb_at(const geom::IVec3& lcell) {
+  const geom::IVec3& cpn = map_.cells_per_node();
+  return *cbbs_[(lcell.x * cpn.y + lcell.y) * cpn.z + lcell.z];
+}
+
+const cbb::Cbb& FpgaNode::cbb_at(const geom::IVec3& lcell) const {
+  const geom::IVec3& cpn = map_.cells_per_node();
+  return *cbbs_[(lcell.x * cpn.y + lcell.y) * cpn.z + lcell.z];
+}
+
+void FpgaNode::start(int iterations, float dt_fs, double cell_size,
+                     const md::ForceField& ff) {
+  target_iterations_ = iterations;
+  iterations_completed_ = 0;
+  dt_fs_ = dt_fs;
+  cell_size_ = cell_size;
+  ff_ = &ff;
+  state_ = iterations > 0 ? State::kIdle : State::kDone;
+  armed_ = iterations > 0;
+}
+
+// ---------------------------------------------------------------- per cycle
+
+void FpgaNode::tick(sim::Cycle now) {
+  tick_ingress(now);
+  tick_fsm(now);
+  tick_egress(now);
+}
+
+int FpgaNode::local_delivery_count(const geom::IVec3& src_lcid) const {
+  const geom::IVec3& cpn = map_.cells_per_node();
+  int count = 0;
+  for (const geom::IVec3& d : geom::half_shell_offsets()) {
+    const geom::IVec3 t = map_.grid().wrap(src_lcid + d);
+    if (t.x < cpn.x && t.y < cpn.y && t.z < cpn.z) ++count;
+  }
+  return count;
+}
+
+void FpgaNode::tick_ingress(sim::Cycle now) {
+  const int spes = config_.cbb.spes;
+  // Position and force ingress only while evaluating forces: a fast
+  // neighbour's next-iteration stream waits inside the endpoint.
+  if (state_ == State::kForce) {
+    // One record per EX node per cycle: the EX count scales with the SPEs
+    // (§4.6), so a 2-SPE design unpacks two records per cycle per channel.
+    for (int poll = 0; poll < spes; ++poll) {
+      // Drain parked tokens first; stop polling while any slot is occupied
+      // so unpack order is preserved.
+      bool parked = false;
+      for (int s = 0; s < spes; ++s) {
+        if (!pending_pos_[s]) continue;
+        auto& fifo = *ex_pos_inject_[s];
+        if (fifo.can_push()) {
+          fifo.push(*pending_pos_[s]);
+          pending_pos_[s].reset();
+        } else {
+          parked = true;
+        }
+      }
+      if (parked) break;
+      auto r = pos_ep_.poll_record(now);
+      if (!r) break;
+      ring::PosToken t;
+      t.src_lcid = map_.gcid_to_lcid(r->src_gcell, node_coords_);
+      t.offset = r->offset;
+      t.elem = r->elem;
+      t.slot = r->slot;
+      const int deliveries = local_delivery_count(t.src_lcid);
+      assert(deliveries > 0);
+      t.deliveries_remaining = static_cast<std::uint8_t>(deliveries);
+      const int s = t.slot % spes;
+      if (ex_pos_inject_[s]->can_push()) {
+        ex_pos_inject_[s]->push(t);
+      } else {
+        pending_pos_[s] = t;
+      }
+    }
+    for ([[maybe_unused]] const NodeId src : pos_ep_.take_last_events()) {
+      chain_.on_last_position_received();
+    }
+
+    for (int poll = 0; poll < spes; ++poll) {
+      bool parked = false;
+      for (int s = 0; s < spes; ++s) {
+        if (!pending_frc_[s]) continue;
+        auto& fifo = *ex_frc_inject_[s];
+        if (fifo.can_push()) {
+          fifo.push(*pending_frc_[s]);
+          pending_frc_[s].reset();
+        } else {
+          parked = true;
+        }
+      }
+      if (parked) break;
+      auto r = frc_ep_.poll_record(now);
+      if (!r) break;
+      ring::ForceToken t;
+      t.dest_lcid = map_.gcid_to_lcid(r->dest_gcell, node_coords_);
+      t.force = r->force;
+      t.slot = r->slot;
+      const int s = t.slot % spes;
+      if (ex_frc_inject_[s]->can_push()) {
+        ex_frc_inject_[s]->push(t);
+      } else {
+        pending_frc_[s] = t;
+      }
+    }
+    for ([[maybe_unused]] const NodeId src : frc_ep_.take_last_events()) {
+      chain_.on_last_force_received();
+    }
+  }
+
+  if (state_ == State::kMotionUpdate) {
+    if (!pending_mig_) {
+      if (auto r = mig_ep_.poll_record(now)) {
+        ring::MigrateToken t;
+        t.dest_lcid = map_.gcid_to_lcid(r->dest_gcell, node_coords_);
+        t.offset = r->offset;
+        t.vel = r->vel;
+        t.elem = r->elem;
+        t.particle_id = r->particle_id;
+        pending_mig_ = t;
+      }
+    }
+    if (pending_mig_ && ex_mig_inject_->can_push()) {
+      ex_mig_inject_->push(*pending_mig_);
+      pending_mig_.reset();
+    }
+    for ([[maybe_unused]] const NodeId src : mig_ep_.take_last_events()) {
+      chain_.on_last_mu_received();
+    }
+  }
+}
+
+void FpgaNode::tick_egress(sim::Cycle now) {
+  pos_ep_.tick_egress(
+      now, [&](const net::Packet<net::PosRecord>& p) { pos_fabric_->send(p, now); });
+  frc_ep_.tick_egress(
+      now, [&](const net::Packet<net::FrcRecord>& p) { frc_fabric_->send(p, now); });
+  mig_ep_.tick_egress(
+      now, [&](const net::Packet<net::MigRecord>& p) { mig_fabric_->send(p, now); });
+}
+
+bool FpgaNode::all_positions_injected() const {
+  for (const auto& c : cbbs_) {
+    if (!c->positions_injected()) return false;
+  }
+  return true;
+}
+
+bool FpgaNode::force_datapath_quiescent() const {
+  for (const auto& c : cbbs_) {
+    if (!c->force_quiescent()) return false;
+  }
+  for (const auto& r : pos_rings_) {
+    if (r->occupancy() != 0) return false;
+  }
+  for (const auto& r : frc_rings_) {
+    if (r->occupancy() != 0) return false;
+  }
+  for (const auto& f : ex_pos_inject_) {
+    if (f->total_occupancy() != 0) return false;
+  }
+  for (const auto& f : ex_frc_inject_) {
+    if (f->total_occupancy() != 0) return false;
+  }
+  for (const auto& p : pending_pos_) {
+    if (p) return false;
+  }
+  for (const auto& p : pending_frc_) {
+    if (p) return false;
+  }
+  return !pos_ep_.ingress_pending();
+}
+
+bool FpgaNode::frc_side_drained() const {
+  for (const auto& p : pending_frc_) {
+    if (p) return false;
+  }
+  return !frc_ep_.ingress_pending();
+}
+
+bool FpgaNode::mu_side_drained() const {
+  for (const auto& c : cbbs_) {
+    if (!c->mu_done() || !c->migration_intake_empty()) return false;
+  }
+  return mu_ring_->occupancy() == 0 && ex_mig_inject_->total_occupancy() == 0 &&
+         !pending_mig_ && !mig_ep_.ingress_pending();
+}
+
+void FpgaNode::enter_force_phase(sim::Cycle now) {
+  chain_.begin_iteration();
+  for (auto& c : cbbs_) c->begin_force_phase();
+  force_phase_starts_.push_back(now);
+  state_ = State::kForce;
+}
+
+void FpgaNode::enter_motion_update() {
+  for (auto& c : cbbs_) c->begin_motion_update(dt_fs_, cell_size_, *ff_);
+  state_ = State::kMotionUpdate;
+}
+
+void FpgaNode::complete_iteration(sim::Cycle now) {
+  ++iterations_completed_;
+  if (iterations_completed_ >= static_cast<std::uint64_t>(target_iterations_)) {
+    state_ = State::kDone;
+  } else {
+    enter_force_phase(now);
+  }
+}
+
+void FpgaNode::tick_fsm(sim::Cycle now) {
+  switch (state_) {
+    case State::kDone:
+      return;
+    case State::kIdle:
+      if (armed_) {
+        armed_ = false;
+        enter_force_phase(now);
+      }
+      return;
+    case State::kForce: {
+      if (!chain_.last_position_sent() && all_positions_injected()) {
+        pos_ep_.flush_last(neighbors_);
+        chain_.mark_last_position_sent();
+      }
+      if (!chain_.last_force_sent() && chain_.last_position_sent() &&
+          chain_.all_positions_received() && force_datapath_quiescent()) {
+        frc_ep_.flush_last(neighbors_);
+        chain_.mark_last_force_sent();
+      }
+      if (chain_.may_enter_motion_update() && frc_side_drained() &&
+          force_datapath_quiescent()) {
+        if (config_.sync_mode == sync::SyncMode::kBulk) {
+          barrier_->arrive(barrier_seq_, now);
+          state_ = State::kForceBarrier;
+        } else {
+          enter_motion_update();
+        }
+      }
+      return;
+    }
+    case State::kForceBarrier:
+      if (barrier_->released(barrier_seq_, now)) {
+        ++barrier_seq_;
+        enter_motion_update();
+      }
+      return;
+    case State::kMotionUpdate: {
+      bool local_mu_done = mu_ring_->occupancy() == 0 &&
+                           ex_mig_inject_->total_occupancy() == 0;
+      for (const auto& c : cbbs_) local_mu_done = local_mu_done && c->mu_done();
+      if (!chain_.last_mu_sent() && local_mu_done) {
+        mig_ep_.flush_last(neighbors_);
+        chain_.mark_last_mu_sent();
+      }
+      if (chain_.may_finish_motion_update() && mu_side_drained()) {
+        if (config_.sync_mode == sync::SyncMode::kBulk) {
+          barrier_->arrive(barrier_seq_, now);
+          state_ = State::kMuBarrier;
+        } else {
+          complete_iteration(now);
+        }
+      }
+      return;
+    }
+    case State::kMuBarrier:
+      if (barrier_->released(barrier_seq_, now)) {
+        ++barrier_seq_;
+        complete_iteration(now);
+      }
+      return;
+  }
+}
+
+// ---------------------------------------------------------------- stats
+
+sim::UtilCounter FpgaNode::pos_ring_util() const {
+  sim::UtilCounter out;
+  for (const auto& r : pos_rings_) out.merge(r->util());
+  return out;
+}
+
+sim::UtilCounter FpgaNode::frc_ring_util() const {
+  sim::UtilCounter out;
+  for (const auto& r : frc_rings_) out.merge(r->util());
+  return out;
+}
+
+sim::UtilCounter FpgaNode::pe_util() const {
+  sim::UtilCounter out;
+  for (const auto& c : cbbs_) out.merge(c->pe_util());
+  return out;
+}
+
+sim::UtilCounter FpgaNode::filter_util() const {
+  sim::UtilCounter out;
+  for (const auto& c : cbbs_) out.merge(c->filter_util());
+  return out;
+}
+
+sim::UtilCounter FpgaNode::mu_util() const {
+  sim::UtilCounter out;
+  for (const auto& c : cbbs_) out.merge(c->mu_util());
+  return out;
+}
+
+std::uint64_t FpgaNode::pairs_issued() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cbbs_) n += c->pairs_issued();
+  return n;
+}
+
+}  // namespace fasda::fpga

@@ -1,0 +1,90 @@
+#include "fasda/idmap/cell_id_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fasda::idmap {
+
+namespace {
+int wrap(int v, int dim) {
+  v %= dim;
+  return v < 0 ? v + dim : v;
+}
+}  // namespace
+
+ClusterMap::ClusterMap(geom::IVec3 node_dims, geom::IVec3 cells_per_node)
+    : node_dims_(node_dims),
+      cells_per_node_(cells_per_node),
+      grid_({node_dims.x * cells_per_node.x, node_dims.y * cells_per_node.y,
+             node_dims.z * cells_per_node.z},
+            1.0) {
+  if (node_dims.x < 1 || node_dims.y < 1 || node_dims.z < 1 ||
+      cells_per_node.x < 1 || cells_per_node.y < 1 || cells_per_node.z < 1) {
+    throw std::invalid_argument("ClusterMap dimensions must be positive");
+  }
+}
+
+geom::IVec3 ClusterMap::node_coords(NodeId id) const {
+  const int z = id % node_dims_.z;
+  const int y = (id / node_dims_.z) % node_dims_.y;
+  const int x = id / (node_dims_.y * node_dims_.z);
+  return {x, y, z};
+}
+
+geom::IVec3 ClusterMap::gcid_to_lcid(const geom::IVec3& gcell,
+                                     const geom::IVec3& dest_node) const {
+  const geom::IVec3 origin{dest_node.x * cells_per_node_.x,
+                           dest_node.y * cells_per_node_.y,
+                           dest_node.z * cells_per_node_.z};
+  const geom::IVec3 g = global_dims();
+  return {wrap(gcell.x - origin.x, g.x), wrap(gcell.y - origin.y, g.y),
+          wrap(gcell.z - origin.z, g.z)};
+}
+
+geom::IVec3 ClusterMap::lcid_to_rcid(const geom::IVec3& src_lcid,
+                                     const geom::IVec3& dest_lcell) const {
+  // RCID = 2 + (source - destination) displacement seen from the receiving
+  // cell, so a neighbour one cell "behind" appears at 1 and one "ahead" at 3.
+  const geom::IVec3 d = grid_.cell_displacement(dest_lcell, src_lcid);
+  return {2 + d.x, 2 + d.y, 2 + d.z};
+}
+
+bool ClusterMap::accepts_position(const geom::IVec3& src_lcid,
+                                  const geom::IVec3& dest_lcell) const {
+  return grid_.is_forward_neighbor(src_lcid, dest_lcell);
+}
+
+std::vector<NodeId> ClusterMap::remote_destinations(
+    const geom::IVec3& gcell) const {
+  const NodeId own = node_id(node_of_cell(gcell));
+  std::vector<NodeId> out;
+  for (const geom::IVec3& d : geom::half_shell_offsets()) {
+    const geom::IVec3 target = grid_.wrap(gcell + d);
+    const NodeId node = node_id(node_of_cell(target));
+    if (node != own && std::find(out.begin(), out.end(), node) == out.end()) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> ClusterMap::neighbor_nodes(NodeId node) const {
+  const geom::IVec3 nc = node_coords(node);
+  std::vector<NodeId> out;
+  // Two nodes are neighbours iff some cell of one has a (full-shell)
+  // neighbour cell in the other; with blocks >= 1 cell wide this is exactly
+  // the 26 surrounding node-grid positions (periodic), deduplicated for
+  // small node grids.
+  for (const geom::IVec3& d : geom::full_shell_offsets()) {
+    const geom::IVec3 target{wrap(nc.x + d.x, node_dims_.x),
+                             wrap(nc.y + d.y, node_dims_.y),
+                             wrap(nc.z + d.z, node_dims_.z)};
+    const NodeId id = node_id(target);
+    if (id != node && std::find(out.begin(), out.end(), id) == out.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace fasda::idmap

@@ -1,0 +1,116 @@
+#pragma once
+// Fixed-point particle coordinates (§4.2 of the paper).
+//
+// A particle travelling the rings carries, per axis, its Relative Cell ID
+// (RCID ∈ {1,2,3}; the local cell is 2) concatenated with a fixed-point
+// in-cell offset. Starting RCIDs at 1 keeps the leading "1" present so the
+// hardware's fixed-to-float conversion (leading-one detection) is trivial,
+// and lets a filter compute inter-particle displacement by direct
+// subtraction without knowing either cell.
+//
+// Representation: unsigned Q2.28 (value in [0, 4), resolution 2^-28 cell
+// edges ≈ 3e-8 Å at R_c = 8.5 Å). Differences are signed Q3.28; squared
+// distances are exact unsigned Q6.56 (no rounding before the filter
+// threshold compare), matching the paper's claim that filters run on cheap
+// fixed-point arithmetic while the force pipeline runs on float32.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "fasda/geom/vec3.hpp"
+
+namespace fasda::fixed {
+
+class FixedCoord {
+ public:
+  static constexpr int kFracBits = 28;
+  static constexpr std::uint32_t kOne = 1u << kFracBits;
+  static constexpr double kResolution = 1.0 / static_cast<double>(kOne);
+
+  constexpr FixedCoord() = default;
+
+  /// Builds RCID ∥ offset. rcid must be in {1,2,3}; frac01 in [0,1).
+  static FixedCoord from_cell_offset(int rcid, double frac01) {
+    return FixedCoord(static_cast<std::uint32_t>(rcid) * kOne +
+                      quantize_frac(frac01));
+  }
+
+  /// Quantizes an arbitrary value in [0,4). Used by tests and the MU when
+  /// re-encoding updated positions.
+  static FixedCoord from_real(double v) {
+    return FixedCoord(static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(std::floor(v * kOne + 0.5))));
+  }
+
+  static constexpr FixedCoord from_raw(std::uint32_t raw) { return FixedCoord(raw); }
+
+  constexpr std::uint32_t raw() const { return raw_; }
+  constexpr int rcid() const { return static_cast<int>(raw_ >> kFracBits); }
+
+  /// Fractional in-cell offset in [0,1).
+  constexpr double frac() const {
+    return static_cast<double>(raw_ & (kOne - 1)) * kResolution;
+  }
+
+  constexpr double to_double() const { return raw_ * kResolution; }
+  float to_float() const { return static_cast<float>(to_double()); }
+
+  /// Signed difference, exact (Q3.28 in an int64).
+  constexpr std::int64_t sub(FixedCoord o) const {
+    return static_cast<std::int64_t>(raw_) - static_cast<std::int64_t>(o.raw_);
+  }
+
+  constexpr bool operator==(const FixedCoord&) const = default;
+
+ private:
+  explicit constexpr FixedCoord(std::uint32_t raw) : raw_(raw) {}
+
+  static std::uint32_t quantize_frac(double frac01) {
+    auto q = static_cast<std::int64_t>(std::floor(frac01 * kOne + 0.5));
+    if (q >= kOne) q = kOne - 1;  // round-up at the top edge stays in-cell
+    if (q < 0) q = 0;
+    return static_cast<std::uint32_t>(q);
+  }
+
+  std::uint32_t raw_ = 0;
+};
+
+struct FixedVec3 {
+  FixedCoord x, y, z;
+
+  constexpr bool operator==(const FixedVec3&) const = default;
+
+  geom::Vec3d to_vec3d() const { return {x.to_double(), y.to_double(), z.to_double()}; }
+};
+
+/// Exact squared distance in Q6.56. Maximum value 27·2^56 < 2^62, so it fits
+/// an unsigned 64-bit without saturation.
+constexpr std::uint64_t r2_fixed(const FixedVec3& a, const FixedVec3& b) {
+  const std::int64_t dx = a.x.sub(b.x);
+  const std::int64_t dy = a.y.sub(b.y);
+  const std::int64_t dz = a.z.sub(b.z);
+  return static_cast<std::uint64_t>(dx * dx) +
+         static_cast<std::uint64_t>(dy * dy) +
+         static_cast<std::uint64_t>(dz * dz);
+}
+
+/// The filter threshold: r^2 < R_c^2 with R_c normalized to 1 cell edge.
+constexpr std::uint64_t kR2One = 1ull << (2 * FixedCoord::kFracBits);
+
+/// Fixed-to-float conversion of a Q6.56 squared distance (the hardware does
+/// this with a leading-one detector; ldexp is the software equivalent).
+inline float r2_to_float(std::uint64_t r2q) {
+  return std::ldexp(static_cast<float>(r2q), -2 * FixedCoord::kFracBits);
+}
+
+/// Displacement vector (a - b) as float32 components, as produced by the
+/// fixed subtractors feeding the force pipeline.
+inline geom::Vec3f displacement_to_float(const FixedVec3& a, const FixedVec3& b) {
+  const float scale = std::ldexp(1.0f, -FixedCoord::kFracBits);
+  return {static_cast<float>(a.x.sub(b.x)) * scale,
+          static_cast<float>(a.y.sub(b.y)) * scale,
+          static_cast<float>(a.z.sub(b.z)) * scale};
+}
+
+}  // namespace fasda::fixed

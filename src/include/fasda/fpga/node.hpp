@@ -1,0 +1,179 @@
+#pragma once
+// One FPGA node (§4, Figs. 8-15): the block of cells it owns as CBBs/SCBBs,
+// one position ring and one force ring per SPE index (each with an EX
+// station for external transactions, §4.1), a motion-update ring, packet
+// endpoints for the position/force/migration channels, and the chained
+// synchronization state machine that sequences force evaluation and motion
+// update without any global barrier (§4.4).
+//
+// The node's own tick handles control: packet ingress (gated by phase so a
+// fast neighbour's next-iteration data waits in the endpoint), egress
+// pacing, EX conversions (GCID→LCID on arrival, §4.2), and phase
+// transitions. Datapath components (CBBs, PEs, rings) are registered with
+// the scheduler separately; a `slowdown` factor gates their ticks to model
+// a straggler board.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fasda/cbb/cbb.hpp"
+#include "fasda/net/network.hpp"
+#include "fasda/sync/sync.hpp"
+
+namespace fasda::fpga {
+
+using NodeId = idmap::NodeId;
+
+struct NodeConfig {
+  cbb::CbbConfig cbb{};
+  sync::SyncMode sync_mode = sync::SyncMode::kChained;
+  int slowdown = 1;  ///< datapath ticks every `slowdown`-th cycle (straggler)
+};
+
+/// Gates an inner component's tick to every k-th cycle.
+class Gated : public sim::Component {
+ public:
+  Gated(sim::Component* inner, int factor)
+      : Component(inner->name() + "/gated"), inner_(inner), factor_(factor) {}
+  void tick(sim::Cycle now) override {
+    if (factor_ <= 1 || now % static_cast<sim::Cycle>(factor_) == 0) {
+      inner_->tick(now);
+    }
+  }
+
+ private:
+  sim::Component* inner_;
+  int factor_;
+};
+
+class FpgaNode : public sim::Component {
+ public:
+  FpgaNode(NodeId id, const NodeConfig& config, const pe::ForceModel& model,
+           const idmap::ClusterMap& map, net::Fabric<net::PosRecord>* pos_fabric,
+           net::Fabric<net::FrcRecord>* frc_fabric,
+           net::Fabric<net::MigRecord>* mig_fabric,
+           sync::BulkBarrier* barrier /* nullptr for chained mode */);
+  ~FpgaNode() override;
+
+  FpgaNode(const FpgaNode&) = delete;
+  FpgaNode& operator=(const FpgaNode&) = delete;
+
+  /// Registers the node FSM, all datapath components (through the straggler
+  /// gate if configured), and all clocked elements.
+  void register_with(sim::Scheduler& scheduler);
+
+  /// Arms the node for `iterations` timesteps. Cell contents must have been
+  /// loaded into the CBBs first.
+  void start(int iterations, float dt_fs, double cell_size,
+             const md::ForceField& ff);
+
+  bool done() const { return state_ == State::kDone; }
+  std::uint64_t iterations_completed() const { return iterations_completed_; }
+
+  /// Cycle at which each force phase started (head-start measurements).
+  const std::vector<sim::Cycle>& force_phase_starts() const {
+    return force_phase_starts_;
+  }
+
+  cbb::Cbb& cbb_at(const geom::IVec3& lcell);
+  const cbb::Cbb& cbb_at(const geom::IVec3& lcell) const;
+  int num_cbbs() const { return static_cast<int>(cbbs_.size()); }
+  cbb::Cbb& cbb_by_index(int i) { return *cbbs_[i]; }
+  const cbb::Cbb& cbb_by_index(int i) const { return *cbbs_[i]; }
+
+  NodeId id() const { return id_; }
+
+  void tick(sim::Cycle now) override;
+
+  // ---- aggregated statistics ----
+  sim::UtilCounter pos_ring_util() const;
+  sim::UtilCounter frc_ring_util() const;
+  sim::UtilCounter pe_util() const;
+  sim::UtilCounter filter_util() const;
+  sim::UtilCounter mu_util() const;
+  std::uint64_t pairs_issued() const;
+
+ private:
+  class PosExStation;
+  class FrcExStation;
+  class MigExStation;
+  friend class FrcExStation;
+  friend class MigExStation;
+
+  enum class State {
+    kIdle,
+    kForce,
+    kForceBarrier,  // bulk mode only
+    kMotionUpdate,
+    kMuBarrier,  // bulk mode only
+    kDone,
+  };
+
+  void tick_ingress(sim::Cycle now);
+  void tick_egress(sim::Cycle now);
+  void tick_fsm(sim::Cycle now);
+
+  bool all_positions_injected() const;
+  bool force_datapath_quiescent() const;
+  bool frc_side_drained() const;
+  bool mu_side_drained() const;
+  void enter_force_phase(sim::Cycle now);
+  void enter_motion_update();
+  void complete_iteration(sim::Cycle now);
+
+  geom::IVec3 node_of_lcid(const geom::IVec3& lcid) const;
+  int local_delivery_count(const geom::IVec3& src_lcid) const;
+
+  NodeId id_;
+  NodeConfig config_;
+  const idmap::ClusterMap& map_;
+  geom::IVec3 node_coords_;
+  std::vector<NodeId> neighbors_;
+
+  std::vector<std::unique_ptr<cbb::Cbb>> cbbs_;  // by local CID
+
+  std::vector<std::unique_ptr<ring::Ring<ring::PosToken>>> pos_rings_;
+  std::vector<std::unique_ptr<ring::Ring<ring::ForceToken>>> frc_rings_;
+  std::unique_ptr<ring::Ring<ring::MigrateToken>> mu_ring_;
+
+  // EX-side injection FIFOs (one per SPE ring) and stations.
+  std::vector<std::unique_ptr<sim::Fifo<ring::PosToken>>> ex_pos_inject_;
+  std::vector<std::unique_ptr<sim::Fifo<ring::ForceToken>>> ex_frc_inject_;
+  std::unique_ptr<sim::Fifo<ring::MigrateToken>> ex_mig_inject_;
+  std::vector<std::unique_ptr<PosExStation>> pos_ex_;
+  std::vector<std::unique_ptr<FrcExStation>> frc_ex_;
+  std::unique_ptr<MigExStation> mig_ex_;
+
+  net::Endpoint<net::PosRecord> pos_ep_;
+  net::Endpoint<net::FrcRecord> frc_ep_;
+  net::Endpoint<net::MigRecord> mig_ep_;
+  net::Fabric<net::PosRecord>* pos_fabric_;
+  net::Fabric<net::FrcRecord>* frc_fabric_;
+  net::Fabric<net::MigRecord>* mig_fabric_;
+
+  // Converted-but-undelivered tokens (EX serialization): one slot per SPE
+  // ring for positions/forces — the EX count scales with the SPEs (§4.6) —
+  // and one for migrations.
+  std::vector<std::optional<ring::PosToken>> pending_pos_;
+  std::vector<std::optional<ring::ForceToken>> pending_frc_;
+  std::optional<ring::MigrateToken> pending_mig_;
+
+  sync::ChainedSync chain_;
+  sync::BulkBarrier* barrier_;
+  std::uint64_t barrier_seq_ = 0;
+
+  State state_ = State::kIdle;
+  bool armed_ = false;
+  int target_iterations_ = 0;
+  std::uint64_t iterations_completed_ = 0;
+  std::vector<sim::Cycle> force_phase_starts_;
+
+  float dt_fs_ = 0.0f;
+  double cell_size_ = 0.0;
+  const md::ForceField* ff_ = nullptr;
+
+  std::vector<std::unique_ptr<Gated>> gates_;
+};
+
+}  // namespace fasda::fpga

@@ -1,0 +1,85 @@
+#pragma once
+// Periodic cell grid over the simulation space, with the paper's cell
+// indexing (Eq. 7):  CID = Dy*Dz*x + Dz*y + z.
+//
+// The half-shell neighbour set (Fig. 2) implements Newton's-third-law
+// pairing: each cell sends its particles to the 13 "forward" neighbour cells
+// and receives from the 13 "backward" ones, so every neighbouring cell pair
+// is evaluated exactly once. "Forward" means lexicographically positive
+// displacement: dx>0, or dx==0 && dy>0, or dx==dy==0 && dz>0 — which also
+// matches the ring rotation direction Eq. 7 optimizes for.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "fasda/geom/vec3.hpp"
+
+namespace fasda::geom {
+
+using CellId = std::int32_t;
+
+/// The 13 forward half-shell offsets (of the 26 neighbours of a cell).
+std::span<const IVec3> half_shell_offsets();
+
+/// All 26 neighbour offsets (full shell), forward ones first.
+std::span<const IVec3> full_shell_offsets();
+
+/// True iff d (each component in {-1,0,1}, not all zero) is a forward offset.
+constexpr bool is_forward_offset(const IVec3& d) {
+  return d.x > 0 || (d.x == 0 && (d.y > 0 || (d.y == 0 && d.z > 0)));
+}
+
+class CellGrid {
+ public:
+  /// dims: number of cells per dimension (each >= 3 so that periodic
+  /// neighbour displacements are unambiguous); cell_size: edge length
+  /// (= R_c in the paper's recommended configuration).
+  CellGrid(IVec3 dims, double cell_size);
+
+  const IVec3& dims() const { return dims_; }
+  double cell_size() const { return cell_size_; }
+  int num_cells() const { return dims_.product(); }
+  Vec3d box() const {
+    return {dims_.x * cell_size_, dims_.y * cell_size_, dims_.z * cell_size_};
+  }
+
+  /// Eq. 7 cell id from integer coordinates (must be in range).
+  CellId cid(const IVec3& c) const {
+    return static_cast<CellId>((c.x * dims_.y + c.y) * dims_.z + c.z);
+  }
+  IVec3 coords(CellId id) const {
+    const int z = id % dims_.z;
+    const int y = (id / dims_.z) % dims_.y;
+    const int x = id / (dims_.y * dims_.z);
+    return {x, y, z};
+  }
+
+  /// Wraps integer cell coordinates into the grid (periodic boundaries).
+  IVec3 wrap(IVec3 c) const;
+
+  /// Wraps a position into the periodic box [0, box) per component.
+  Vec3d wrap_position(Vec3d p) const;
+
+  /// Cell containing a (wrapped) position.
+  IVec3 cell_of(const Vec3d& p) const;
+
+  /// Minimum-image displacement between cell coordinates: each component of
+  /// (to - from) mapped into [-dims/2, dims/2]. For the neighbour checks used
+  /// by the rings the result is meaningful when it lands in {-1,0,1}^3.
+  IVec3 cell_displacement(const IVec3& from, const IVec3& to) const;
+
+  /// Minimum-image displacement vector to - from in the periodic box.
+  Vec3d min_image(const Vec3d& from, const Vec3d& to) const;
+
+  /// True iff `to` is one of `from`'s 13 forward half-shell neighbours
+  /// (periodic). A cell is never its own neighbour (dims >= 3 guarantees the
+  /// images are distinct).
+  bool is_forward_neighbor(const IVec3& from, const IVec3& to) const;
+
+ private:
+  IVec3 dims_;
+  double cell_size_;
+};
+
+}  // namespace fasda::geom

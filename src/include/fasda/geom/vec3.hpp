@@ -1,0 +1,66 @@
+#pragma once
+// 3-component vector types used throughout: Vec3<double> for the reference
+// engine, Vec3<float> for FASDA's float32 force/velocity paths, IVec3 for
+// cell/node coordinates.
+
+#include <cmath>
+#include <cstdint>
+
+namespace fasda::geom {
+
+template <class T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(T s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(T s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(T s) { x *= s; y *= s; z *= s; return *this; }
+
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr T dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr T norm2() const { return dot(*this); }
+  T norm() const { return std::sqrt(norm2()); }
+
+  template <class U>
+  constexpr Vec3<U> cast() const {
+    return {static_cast<U>(x), static_cast<U>(y), static_cast<U>(z)};
+  }
+};
+
+template <class T>
+constexpr Vec3<T> operator*(T s, const Vec3<T>& v) {
+  return v * s;
+}
+
+using Vec3d = Vec3<double>;
+using Vec3f = Vec3<float>;
+
+struct IVec3 {
+  int x{}, y{}, z{};
+
+  constexpr IVec3() = default;
+  constexpr IVec3(int x_, int y_, int z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr IVec3 operator+(const IVec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr IVec3 operator-(const IVec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr bool operator==(const IVec3&) const = default;
+
+  constexpr int product() const { return x * y * z; }
+
+  template <class T>
+  constexpr Vec3<T> cast() const {
+    return {static_cast<T>(x), static_cast<T>(y), static_cast<T>(z)};
+  }
+};
+
+}  // namespace fasda::geom

@@ -1,0 +1,111 @@
+#pragma once
+// Two-level cell ID conversion (§4.2, Fig. 9).
+//
+// The simulation space of G = node_dims ⊙ cells_per_node cells is block-
+// partitioned across FPGA nodes. Each cell has a Global Cell ID (GCID). To
+// keep nodes homogeneous — every FPGA runs the identical bitstream with the
+// identical static neighbour lists — a particle's GCID is converted on
+// arrival:
+//
+//   GCID → LCID: the source cell re-expressed in the destination node's
+//   frame as if that node were node (0,0,0). The conversion wraps through
+//   the periodic boundary, so a cell just left of the node appears at
+//   coordinate G-1 (the paper's (2,1) → (5,1) example).
+//
+//   LCID → RCID: once a particle reaches its destination CBB, the relative
+//   cell ID per axis is 2 + displacement ∈ {1,2,3} (2 = same cell).
+//   Starting at 1 keeps a leading "1" in the fixed-point concatenation for
+//   cheap fixed-to-float conversion.
+//
+// All functions are pure; the hardware equivalents are a subtractor and a
+// comparator per axis.
+
+#include <vector>
+
+#include "fasda/geom/cell_grid.hpp"
+
+namespace fasda::idmap {
+
+using NodeId = int;
+
+class ClusterMap {
+ public:
+  /// node_dims: FPGAs per dimension; cells_per_node: the block each FPGA
+  /// owns. Global dims must be >= 3 per axis.
+  ClusterMap(geom::IVec3 node_dims, geom::IVec3 cells_per_node);
+
+  const geom::IVec3& node_dims() const { return node_dims_; }
+  const geom::IVec3& cells_per_node() const { return cells_per_node_; }
+  geom::IVec3 global_dims() const {
+    return {node_dims_.x * cells_per_node_.x, node_dims_.y * cells_per_node_.y,
+            node_dims_.z * cells_per_node_.z};
+  }
+  int num_nodes() const { return node_dims_.product(); }
+  int cells_in_node() const { return cells_per_node_.product(); }
+
+  /// Eq. 7 indexing over the node grid.
+  NodeId node_id(const geom::IVec3& node) const {
+    return (node.x * node_dims_.y + node.y) * node_dims_.z + node.z;
+  }
+  geom::IVec3 node_coords(NodeId id) const;
+
+  /// Node owning a global cell.
+  geom::IVec3 node_of_cell(const geom::IVec3& gcell) const {
+    return {gcell.x / cells_per_node_.x, gcell.y / cells_per_node_.y,
+            gcell.z / cells_per_node_.z};
+  }
+
+  /// Local coordinates of a global cell within its own node ([0, cpn)).
+  geom::IVec3 local_cell(const geom::IVec3& gcell) const {
+    return {gcell.x % cells_per_node_.x, gcell.y % cells_per_node_.y,
+            gcell.z % cells_per_node_.z};
+  }
+
+  /// Global coordinates of a node's local cell.
+  geom::IVec3 global_cell(const geom::IVec3& node, const geom::IVec3& lcell) const {
+    return {node.x * cells_per_node_.x + lcell.x,
+            node.y * cells_per_node_.y + lcell.y,
+            node.z * cells_per_node_.z + lcell.z};
+  }
+
+  /// GCID → LCID: source cell in `dest_node`'s frame, wrapped into
+  /// [0, global_dims) so the destination never needs to know where it sits
+  /// in the cluster. For a cell already owned by dest_node this is just its
+  /// local coordinates.
+  geom::IVec3 gcid_to_lcid(const geom::IVec3& gcell,
+                           const geom::IVec3& dest_node) const;
+
+  /// LCID → RCID relative to a destination local cell; each component in
+  /// {1,2,3} when the source is the cell itself or one of its 26 neighbours
+  /// (2 = same cell). Uses minimum-image displacement over the global grid.
+  geom::IVec3 lcid_to_rcid(const geom::IVec3& src_lcid,
+                           const geom::IVec3& dest_lcell) const;
+
+  /// True iff the local cell `dest_lcell` is a forward half-shell neighbour
+  /// of the (converted) source LCID — the PRN's acceptance test.
+  bool accepts_position(const geom::IVec3& src_lcid,
+                        const geom::IVec3& dest_lcell) const;
+
+  /// Remote nodes a particle of cell `gcell` must be shipped to: the owners
+  /// of its forward half-shell neighbour cells, excluding its own node.
+  /// Order is deterministic (the P2R encapsulation chain order, §4.3).
+  std::vector<NodeId> remote_destinations(const geom::IVec3& gcell) const;
+
+  /// All neighbouring nodes of `node` (nodes that exchange any traffic with
+  /// it, in either direction). Used to size sync counters (§4.4).
+  std::vector<NodeId> neighbor_nodes(NodeId node) const;
+
+  /// Minimum-image displacement over the global cell grid.
+  geom::IVec3 min_image(const geom::IVec3& from, const geom::IVec3& to) const {
+    return grid_.cell_displacement(from, to);
+  }
+
+  const geom::CellGrid& grid() const { return grid_; }
+
+ private:
+  geom::IVec3 node_dims_;
+  geom::IVec3 cells_per_node_;
+  geom::CellGrid grid_;  // global grid (cell size irrelevant here)
+};
+
+}  // namespace fasda::idmap

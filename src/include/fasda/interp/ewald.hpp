@@ -1,0 +1,22 @@
+#pragma once
+// Interpolation tables for the Ewald real-space (PME short-range)
+// electrostatic term — the other half of the RL force (§2.1). The paper
+// notes the force pipelines are "nearly identical"; concretely, only the
+// tabulated function changes:
+//
+//   force:  F_vec = (k_e·q_a·q_b / R_c²) · T_f(u²) · u_vec
+//           T_f(u²) = [erfc(βR_c·u) + (2βR_c·u/√π)·e^(−(βR_c·u)²)] / u³
+//   energy: V = (k_e·q_a·q_b / R_c) · T_e(u²),  T_e(u²) = erfc(βR_c·u)/u
+//
+// with u the cutoff-normalized distance (u² ∈ (0, 1], same section/bin
+// indexing as the r^-α tables).
+
+#include "fasda/interp/interp_table.hpp"
+
+namespace fasda::interp {
+
+/// `beta_rc` = β·R_c (the splitting parameter times the cutoff).
+InterpTable build_ewald_force_table(double beta_rc, const InterpConfig& config);
+InterpTable build_ewald_energy_table(double beta_rc, const InterpConfig& config);
+
+}  // namespace fasda::interp

@@ -1,0 +1,80 @@
+#pragma once
+// Force table-lookup interpolation (§3.4, Eqs. 8-10, Fig. 7).
+//
+// Instead of computing r^-α directly (α = 14, 8 for the LJ force; 12, 6 for
+// the potential), the hardware evaluates f(r²) by piecewise-linear
+// interpolation:   f(r²) ≈ a(s,b)·r² + b(s,b)
+// where the section index s comes from the exponent bits of the float32 r²
+// (Eq. 9) and the bin index b from its mantissa bits (Eq. 10). With the
+// cutoff radius normalized to 1, valid r² lies in (0, 1], so sections cover
+// [2^-ns, 1) and the region below 2^-ns is excluded as non-physically high
+// energy (Fig. 7).
+//
+// Tables are built for arbitrary f, which is how the paper supports
+// "different force models with trivial modification".
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace fasda::interp {
+
+struct InterpConfig {
+  int num_sections = 14;  ///< n_s: sections below r² = 1, one per exponent
+  int num_bins = 256;     ///< n_b: equal-width bins per section
+
+  bool operator==(const InterpConfig&) const = default;
+};
+
+/// Section/bin index pair for a given r² (float32 semantics).
+struct TableIndex {
+  int section = 0;
+  int bin = 0;
+  bool below_range = false;  ///< r² < 2^-ns: excluded small-r region
+  bool above_range = false;  ///< r² >= 1: beyond the cutoff
+};
+
+class InterpTable {
+ public:
+  /// Builds a table for f over (0, 1]; f is sampled in double precision and
+  /// coefficients are stored as float32, exactly like coefficient BRAMs.
+  static InterpTable build(const std::function<double(double)>& f,
+                           const InterpConfig& config);
+
+  /// Convenience: f(r²) = r^-alpha = (r²)^(-alpha/2).
+  static InterpTable build_r_pow(int alpha, const InterpConfig& config);
+
+  const InterpConfig& config() const { return config_; }
+
+  /// Computes the section/bin index of a float32 r² (Eqs. 9-10).
+  TableIndex index_of(float r2) const;
+
+  /// Evaluates the interpolation in float32. Out-of-range inputs clamp to
+  /// the nearest bin (the hardware filter guarantees in-range inputs; the
+  /// clamp keeps the functional model total).
+  float eval(float r2) const;
+
+  /// Maximum |eval - f| / |f| over `samples_per_bin` probes per bin,
+  /// restricted to the covered range. Used by accuracy tests/ablation.
+  double max_relative_error(const std::function<double(double)>& f,
+                            int samples_per_bin = 8) const;
+
+  /// Coefficient storage footprint in bits (two float32 per bin), used by
+  /// the resource model.
+  std::uint64_t storage_bits() const {
+    return static_cast<std::uint64_t>(a_.size()) * 2 * 32;
+  }
+
+ private:
+  InterpTable(InterpConfig config) : config_(config) {}
+
+  double bin_left_edge(int section, int bin) const;
+
+  InterpConfig config_;
+  // Row-major [section][bin]; a_ and b_ are the Eq. 8 coefficient arrays.
+  std::vector<float> a_;
+  std::vector<float> b_;
+};
+
+}  // namespace fasda::interp

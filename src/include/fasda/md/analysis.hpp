@@ -1,0 +1,55 @@
+#pragma once
+// Host-side trajectory analysis: the observables a user checks after an MD
+// run (instantaneous temperature, radial distribution function, mean square
+// displacement, velocity-rescaling for equilibration). These operate on
+// exported SystemStates, so they work identically for the reference,
+// functional, and cycle-level engines.
+
+#include <vector>
+
+#include "fasda/md/system_state.hpp"
+
+namespace fasda::md {
+
+/// Instantaneous temperature in kelvin from the kinetic energy
+/// (3N degrees of freedom; the 3 conserved momenta are negligible here).
+double temperature(const SystemState& state, const ForceField& ff);
+
+/// Rescales velocities so the instantaneous temperature equals `target_k`.
+/// The standard equilibration step before a production run.
+void rescale_to_temperature(SystemState& state, const ForceField& ff,
+                            double target_k);
+
+struct RdfResult {
+  double bin_width = 0.0;          ///< Å
+  std::vector<double> g;           ///< g(r) per bin
+  std::vector<std::size_t> count;  ///< raw pair counts per bin
+  double r(std::size_t bin) const { return (bin + 0.5) * bin_width; }
+};
+
+/// Radial distribution function up to `r_max` (must be <= half the shortest
+/// box edge), optionally restricted to pairs of the given element ids
+/// (pass -1 for "any").
+RdfResult radial_distribution(const SystemState& state, double r_max, int bins,
+                              int elem_a = -1, int elem_b = -1);
+
+/// Tracks mean square displacement across snapshots, unwrapping periodic
+/// jumps (valid while per-step motion stays below half a box edge).
+class MsdTracker {
+ public:
+  explicit MsdTracker(const SystemState& initial);
+
+  /// Feeds the next snapshot (same particle ordering); returns MSD in Å².
+  double update(const SystemState& state);
+
+  const std::vector<double>& history() const { return history_; }
+
+ private:
+  geom::CellGrid grid_;
+  std::vector<geom::Vec3d> reference_;  ///< initial positions
+  std::vector<geom::Vec3d> previous_;   ///< last wrapped positions
+  std::vector<geom::Vec3d> unwrapped_;
+  std::vector<double> history_;
+};
+
+}  // namespace fasda::md

@@ -1,0 +1,20 @@
+#pragma once
+// Binary checkpoint/restart for SystemState: exact round trip of positions,
+// velocities and elements (XYZ trajectories drop velocities, so they cannot
+// restart a leapfrog run bit-exactly). Little-endian, versioned header.
+
+#include <iosfwd>
+#include <string>
+
+#include "fasda/md/system_state.hpp"
+
+namespace fasda::md {
+
+void save_checkpoint(std::ostream& out, const SystemState& state);
+void save_checkpoint(const std::string& path, const SystemState& state);
+
+/// Throws std::runtime_error on bad magic/version/truncation.
+SystemState load_checkpoint(std::istream& in);
+SystemState load_checkpoint(const std::string& path);
+
+}  // namespace fasda::md

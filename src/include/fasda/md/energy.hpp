@@ -1,0 +1,23 @@
+#pragma once
+// Standalone double-precision observables over a SystemState, computed with
+// a cell list. Shared by the engines' validation paths and the Fig. 19
+// harness (which measures both trajectories with this one yardstick).
+
+#include "fasda/md/system_state.hpp"
+
+namespace fasda::md {
+
+/// Potential energy of the enabled force terms with the given cutoff (Å),
+/// internal units.
+double compute_potential_energy(const SystemState& state, const ForceField& ff,
+                                double cutoff, const ForceTerms& terms = {});
+
+/// Analytic per-particle forces with the given cutoff (internal units).
+std::vector<geom::Vec3d> compute_forces(const SystemState& state,
+                                        const ForceField& ff, double cutoff,
+                                        const ForceTerms& terms = {});
+
+/// Number of unordered pairs within the cutoff.
+std::size_t count_pairs_within_cutoff(const SystemState& state, double cutoff);
+
+}  // namespace fasda::md

@@ -1,0 +1,47 @@
+#pragma once
+// Long-range (reciprocal-space) Ewald summation — the "LR" component of the
+// non-bonded force that the paper treats as a separate, memory- and
+// communication-bound task (§1: LR parallelization on FPGA clusters is
+// prior work [50, 51]; FASDA owns RL). This reference implementation is the
+// direct structure-factor sum,
+//
+//   E_recip = k_e · (2π/V) · Σ_{k≠0} e^(−|k|²/4β²)/|k|² · |S(k)|²,
+//   S(k)    = Σ_i q_i e^(i k·r_i),
+//   E_self  = −k_e · β/√π · Σ_i q_i²,
+//
+// O(N·K) rather than the PME FFT, which is exact for validation purposes:
+// together with the RL real-space term the total Coulomb energy/forces are
+// independent of the splitting parameter β — the property the tests pin.
+
+#include <complex>
+#include <vector>
+
+#include "fasda/md/system_state.hpp"
+
+namespace fasda::md {
+
+class EwaldLongRange {
+ public:
+  /// `beta` in Å⁻¹ (must match the RL term); `kmax` bounds the integer
+  /// k-vector components (truncation error falls off as
+  /// e^(−(π·kmax/(β·L))²)).
+  EwaldLongRange(const ForceField& ff, double beta, int kmax);
+
+  /// Reciprocal-space energy plus the self-energy correction (internal
+  /// units). For non-neutral systems the neutralizing-background term is
+  /// included as well.
+  double energy(const SystemState& state) const;
+
+  /// Reciprocal-space forces (internal units), by particle.
+  std::vector<geom::Vec3d> forces(const SystemState& state) const;
+
+  double beta() const { return beta_; }
+  int kmax() const { return kmax_; }
+
+ private:
+  const ForceField& ff_;
+  double beta_;
+  int kmax_;
+};
+
+}  // namespace fasda::md

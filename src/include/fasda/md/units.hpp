@@ -1,0 +1,25 @@
+#pragma once
+// Internal unit system: length in Å, time in fs, mass in amu.
+// Derived energy unit: 1 amu·Å²/fs² = 2390.057 kcal/mol.
+// Force-field parameters are specified in the chemistry-native units
+// (kcal/mol, Å) and converted on entry, so all simulation math is unit-free.
+
+namespace fasda::md::units {
+
+/// kcal/mol per internal energy unit (amu·Å²/fs²).
+inline constexpr double kKcalPerMolPerInternal = 2390.05736;
+
+/// Converts kcal/mol to internal energy.
+inline constexpr double from_kcal_per_mol(double e) {
+  return e / kKcalPerMolPerInternal;
+}
+
+/// Converts internal energy to kcal/mol.
+inline constexpr double to_kcal_per_mol(double e) {
+  return e * kKcalPerMolPerInternal;
+}
+
+/// Boltzmann constant in internal energy per kelvin.
+inline constexpr double kBoltzmann = 8.31446262e-7;
+
+}  // namespace fasda::md::units

@@ -1,0 +1,40 @@
+#pragma once
+// Extended-XYZ trajectory output/input, the lingua franca of MD
+// visualization tools (OVITO, VMD, ASE). One frame per step() call; the
+// comment line carries the box so tools reconstruct the periodic cell.
+
+#include <iosfwd>
+#include <string>
+
+#include "fasda/md/system_state.hpp"
+
+namespace fasda::md {
+
+/// Writes one frame. `comment_extra` is appended to the metadata line.
+void write_xyz_frame(std::ostream& out, const SystemState& state,
+                     const ForceField& ff, const std::string& comment_extra = "");
+
+/// Streams frames to a file, flushing per frame so partial runs are usable.
+class XyzWriter {
+ public:
+  XyzWriter(std::string path, const ForceField& ff);
+  ~XyzWriter();
+
+  XyzWriter(const XyzWriter&) = delete;
+  XyzWriter& operator=(const XyzWriter&) = delete;
+
+  void write(const SystemState& state, const std::string& comment_extra = "");
+  int frames_written() const { return frames_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  const ForceField& ff_;
+  int frames_ = 0;
+};
+
+/// Reads one frame (positions + element names resolved against `ff`);
+/// returns false at EOF. Velocities default to zero.
+bool read_xyz_frame(std::istream& in, const ForceField& ff, SystemState& state);
+
+}  // namespace fasda::md

@@ -1,0 +1,83 @@
+#pragma once
+// Analytic CPU/GPU performance models for the Fig. 16 comparison series.
+//
+// The paper measured OpenMM (LJ force field only) on a Xeon Gold (up to 32
+// threads), 2x NVIDIA A100 (NVLink) and 4x V100 (all-to-all NVLink). This
+// environment has neither the GPUs nor a many-core CPU, so the comparison
+// series come from latency/throughput models whose *structure* produces the
+// paper's qualitative behaviour:
+//
+//   GPU: t_step = launch/sync latency(devices) + pair_work / throughput.
+//        Small systems are latency-bound, so adding GPUs (more sync, same
+//        latency floor) gives negative strong scaling; large systems
+//        approach the throughput bound (§5.2's 8x8x8/10x10x10 discussion).
+//
+//   CPU: t_step = pair_work / (per-thread throughput · threads)
+//               + barrier·log2(threads) + reduction ∝ N·threads.
+//        Scales well to a few threads, then synchronization and
+//        force-reduction traffic swamp the shrinking per-thread work —
+//        negative scaling at 16+ threads, as measured in the paper.
+//
+// Every constant is documented and calibrated so the 4x4x4 anchor points
+// match the paper's headline ratios (1 GPU ≈ 2 µs/day; 2 GPUs -26 %;
+// 4 V100s ≈ -49 %; FASDA variant C ≈ 4.67x the best GPU).
+//
+// All rates are returned as simulated µs/day for Δt = 2 fs.
+
+#include <cstddef>
+
+namespace fasda::model {
+
+/// Unordered pairs within the cutoff for the paper's standard density
+/// (64 Na per (8.5 Å)³ cell): m ≈ 0.155·27·64 neighbours per particle.
+double standard_pair_count(std::size_t particles);
+
+double us_per_day_from_step_seconds(double step_seconds, double dt_fs = 2.0);
+
+enum class GpuKind { kA100, kV100 };
+
+struct GpuModelParams {
+  double a100_pairs_per_second = 2.0e10;
+  double v100_pairs_per_second = 1.2e10;
+  double base_latency_s = 60e-6;        ///< kernel launches + integration
+  double per_extra_gpu_latency_s = 45e-6;  ///< NVLink sync/halo per extra GPU
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(GpuModelParams params = {}) : params_(params) {}
+
+  double step_seconds(std::size_t particles, int gpus, GpuKind kind) const;
+  double us_per_day(std::size_t particles, int gpus, GpuKind kind) const {
+    return us_per_day_from_step_seconds(step_seconds(particles, gpus, kind));
+  }
+
+ private:
+  GpuModelParams params_;
+};
+
+struct CpuModelParams {
+  /// Vectorized (AVX-512) LJ inner loop, OpenMM CPU platform class.
+  double pairs_per_second_per_thread = 3.0e8;
+  /// Parallel efficiency loss (scheduling, NUMA, cache contention):
+  /// effective threads = T / (1 + k·T²). k = 0.01 peaks throughput near 8
+  /// threads and turns negative past 16, the §5.2 measurement.
+  double efficiency_quadratic = 0.01;
+  double barrier_s = 6e-6;  ///< per barrier, ×log2(threads)
+  double reduction_s_per_particle_thread = 1.1e-9;
+};
+
+class CpuModel {
+ public:
+  explicit CpuModel(CpuModelParams params = {}) : params_(params) {}
+
+  double step_seconds(std::size_t particles, int threads) const;
+  double us_per_day(std::size_t particles, int threads) const {
+    return us_per_day_from_step_seconds(step_seconds(particles, threads));
+  }
+
+ private:
+  CpuModelParams params_;
+};
+
+}  // namespace fasda::model

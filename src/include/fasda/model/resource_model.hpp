@@ -1,0 +1,90 @@
+#pragma once
+// Analytic FPGA resource model behind Table 1.
+//
+// The paper reports post-route LUT/FF/BRAM/URAM/DSP percentages of a Xilinx
+// Alveo U280 for seven design variants. We cannot run Vivado here, so the
+// model derives component counts from the same ClusterConfig that drives
+// the cycle simulator and multiplies by per-unit costs. Constants are
+// calibrated against Table 1's single-FPGA 3x3x3 row; the remaining rows
+// are then predictions, compared against the paper in
+// bench/table1_resources and EXPERIMENTS.md. Memory columns carry the
+// largest residuals — the paper itself notes that resource consumption
+// "can be, to some extent, balanced by trading off LUT, BRAM, and URAM",
+// i.e. different variants chose different balances.
+
+#include "fasda/core/simulation.hpp"
+
+namespace fasda::model {
+
+struct ResourceVector {
+  double lut = 0;
+  double ff = 0;
+  double bram = 0;  ///< 36 Kb blocks
+  double uram = 0;  ///< 288 Kb blocks
+  double dsp = 0;
+
+  ResourceVector& operator+=(const ResourceVector& o) {
+    lut += o.lut;
+    ff += o.ff;
+    bram += o.bram;
+    uram += o.uram;
+    dsp += o.dsp;
+    return *this;
+  }
+  friend ResourceVector operator*(double s, const ResourceVector& v) {
+    return {s * v.lut, s * v.ff, s * v.bram, s * v.uram, s * v.dsp};
+  }
+};
+
+/// Alveo U280 capacities (§5.1).
+inline constexpr ResourceVector kU280Capacity{1303000, 2607000, 2016, 960, 9024};
+
+struct ResourceModelParams {
+  // Pair filter: fixed-point subtract/square/compare — LUT fabric only
+  // (the paper motivates fixed-point positions by filter cost, §4.2).
+  ResourceVector filter{280, 250, 0, 0, 0};
+  // Force pipeline: float32 interpolation datapath, pair buffers and
+  // arbitration; the 6 BRAM cover pair/retirement buffering.
+  ResourceVector pipeline{9200, 9000, 6, 0, 45};
+  /// Interpolation coefficient storage is added from the actual table
+  /// configuration (bits / 36 Kb), on top of `pipeline`.
+  // Motion-update unit (one per CBB): float add/mul + fixed requantize.
+  ResourceVector mu{2600, 2900, 1, 0, 22};
+  // One BRAM-backed cache (PC / HPC / VC / each FC).
+  ResourceVector cache{150, 150, 1, 0, 0};
+  // Per-cell particle store kept in URAM (positions + velocities, banked).
+  ResourceVector cell_store{0, 0, 0, 7, 0};
+  // Ring node (PRN / FRN / MURN).
+  ResourceVector ring_node{420, 600, 0, 0, 0};
+  // EX node (per SPE ring, §4.1).
+  ResourceVector ex_node{650, 800, 0, 0, 0};
+  // CBB control / dispatch / arbitration.
+  ResourceVector cbb_control{900, 950, 0, 0, 0};
+  // Static per-FPGA base: shell, clocking, host interface.
+  ResourceVector node_base{90000, 100000, 60, 0, 50};
+  // Communication stack when the design is distributed: 100G MAC + UDP +
+  // packetizers (§4.3), plus a per-neighbour encapsulation chain. Chains
+  // are shared beyond 3 neighbours (traffic to distant nodes is light,
+  // §5.4, so encapsulators are time-multiplexed).
+  ResourceVector comm_base{32000, 35000, 30, 50, 0};
+  ResourceVector comm_per_neighbor{13000, 12500, 10, 55, 0};
+  int comm_neighbor_cap = 3;
+};
+
+class ResourceModel {
+ public:
+  explicit ResourceModel(ResourceModelParams params = {}) : params_(params) {}
+
+  /// Absolute resources for one FPGA of the given cluster configuration.
+  ResourceVector per_fpga(const core::ClusterConfig& config) const;
+
+  /// Same, as fractions of the U280 (Table 1's percentages).
+  ResourceVector utilization(const core::ClusterConfig& config) const;
+
+  const ResourceModelParams& params() const { return params_; }
+
+ private:
+  ResourceModelParams params_;
+};
+
+}  // namespace fasda::model

@@ -1,0 +1,233 @@
+#pragma once
+// Inter-FPGA communication (§4.3, Figs. 10-11).
+//
+// Records are packed four to a 512-bit AXI-Stream packet. Departures are
+// paced by a per-board cooldown counter ("we limit the transmission of each
+// board to once per several cycles", §5.4) so traffic peaks cannot
+// overwhelm the switch. Packets cross a constant-latency link (switch
+// time-of-flight) in order per source, and are unpacked at the destination
+// one record per cycle ("the data is then serialized and sent to the EX
+// node"). A `last` flag rides the final packet of a stream and implements
+// the chained-synchronization signals of §4.4.
+//
+// An Endpoint is one node's attachment to one traffic class (positions and
+// forces use separate QSFP ports in the paper; migrations get a third
+// logical channel). A Fabric routes packets between the endpoints of one
+// traffic class and records the per-pair traffic matrix behind Fig. 18.
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "fasda/idmap/cell_id_map.hpp"
+#include "fasda/ring/tokens.hpp"
+#include "fasda/sim/kernel.hpp"
+
+namespace fasda::net {
+
+using NodeId = idmap::NodeId;
+
+inline constexpr int kRecordsPerPacket = 4;
+inline constexpr int kPacketBits = 512;
+
+/// Remote position record: carries the GCID; the receiver converts to LCID
+/// on arrival (§4.2).
+struct PosRecord {
+  geom::IVec3 src_gcell;
+  fixed::FixedVec3 offset;
+  md::ElementId elem = 0;
+  std::uint16_t slot = 0;
+};
+
+/// Remote force record: destination carried as GCID for the same reason.
+struct FrcRecord {
+  geom::IVec3 dest_gcell;
+  geom::Vec3f force;
+  std::uint16_t slot = 0;
+};
+
+/// Remote migration record (motion-update phase).
+struct MigRecord {
+  geom::IVec3 dest_gcell;
+  fixed::FixedVec3 offset;
+  geom::Vec3f vel;
+  md::ElementId elem = 0;
+  std::uint32_t particle_id = 0;
+};
+
+template <class R>
+struct Packet {
+  std::array<R, kRecordsPerPacket> records{};
+  int count = 0;
+  bool last = false;
+  NodeId src = -1;
+  NodeId dst = -1;
+};
+
+struct ChannelConfig {
+  sim::Cycle link_latency = 200;  ///< cycles; ~1 µs through the switch
+  /// Minimum cycles between departures (the §5.4 cooldown counter). 2
+  /// caps a port at 51.2 Gbps — still spreading peaks well below the
+  /// 100 Gbps line rate while keeping the encapsulators off the critical
+  /// path of the strongest-scaling variant.
+  int cooldown = 2;
+};
+
+/// Per-(src,dst) traffic counts for one channel.
+struct TrafficMatrix {
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> packets;
+  std::uint64_t total_packets = 0;
+
+  void record(NodeId src, NodeId dst) {
+    packets[{src, dst}]++;
+    total_packets++;
+  }
+};
+
+template <class R>
+class Endpoint {
+ public:
+  Endpoint(NodeId self, const ChannelConfig& config)
+      : self_(self), config_(config) {}
+
+  NodeId self() const { return self_; }
+
+  // ---- egress ----
+
+  /// Adds a record to the packing buffer for `dst` (a P2R/F2R encapsulator
+  /// register set, Fig. 11); a full buffer becomes a ready packet.
+  void enqueue(NodeId dst, const R& record) {
+    auto& buf = packing_[dst];
+    buf.records[buf.count++] = record;
+    buf.src = self_;
+    buf.dst = dst;
+    if (buf.count == kRecordsPerPacket) {
+      ready_.push_back(buf);
+      buf = Packet<R>{};
+    }
+  }
+
+  /// Ends the stream towards every peer in `peers`: flushes partial packets
+  /// and guarantees each peer receives exactly one packet with last=true
+  /// (an empty header-only packet if nothing else is pending).
+  void flush_last(const std::vector<NodeId>& peers) {
+    for (const NodeId dst : peers) {
+      auto it = packing_.find(dst);
+      if (it != packing_.end() && it->second.count > 0) {
+        ready_.push_back(it->second);
+        it->second = Packet<R>{};
+      }
+      // Tag the final queued packet for dst, or queue an empty one.
+      bool tagged = false;
+      for (auto rit = ready_.rbegin(); rit != ready_.rend(); ++rit) {
+        if (rit->dst == dst) {
+          rit->last = true;
+          tagged = true;
+          break;
+        }
+      }
+      if (!tagged) {
+        Packet<R> p;
+        p.src = self_;
+        p.dst = dst;
+        p.last = true;
+        ready_.push_back(p);
+      }
+    }
+  }
+
+  /// Sends at most one packet when the cooldown allows; `send` is the
+  /// fabric's delivery hook.
+  void tick_egress(sim::Cycle now,
+                   const std::function<void(const Packet<R>&)>& send) {
+    if (ready_.empty() || now < next_departure_) return;
+    send(ready_.front());
+    ready_.pop_front();
+    next_departure_ = now + static_cast<sim::Cycle>(config_.cooldown);
+  }
+
+  bool egress_pending() const {
+    if (!ready_.empty()) return true;
+    for (const auto& [dst, buf] : packing_) {
+      if (buf.count > 0) return true;
+    }
+    return false;
+  }
+
+  // ---- ingress ----
+
+  void deliver(const Packet<R>& p, sim::Cycle arrival) {
+    arrivals_.emplace(arrival, p);
+  }
+
+  /// Serializes one record per cycle out of arrived packets. `last` events
+  /// surface via take_last_events() when their packet is opened.
+  std::optional<R> poll_record(sim::Cycle now) {
+    if (unpack_.empty()) open_next_packet(now);
+    if (unpack_.empty()) return std::nullopt;
+    R r = unpack_.front();
+    unpack_.pop_front();
+    return r;
+  }
+
+  std::vector<NodeId> take_last_events() {
+    return std::exchange(last_events_, {});
+  }
+
+  /// Work still queued on the receive side (arrived or in flight).
+  bool ingress_pending() const { return !unpack_.empty() || !arrivals_.empty(); }
+
+ private:
+  void open_next_packet(sim::Cycle now) {
+    while (!arrivals_.empty() && arrivals_.begin()->first <= now) {
+      const Packet<R> p = arrivals_.begin()->second;
+      arrivals_.erase(arrivals_.begin());
+      for (int i = 0; i < p.count; ++i) unpack_.push_back(p.records[i]);
+      if (p.last) last_events_.push_back(p.src);
+      if (!unpack_.empty()) return;  // empty last-only packets keep draining
+    }
+  }
+
+  NodeId self_;
+  ChannelConfig config_;
+  std::map<NodeId, Packet<R>> packing_;
+  std::deque<Packet<R>> ready_;
+  sim::Cycle next_departure_ = 0;
+  std::multimap<sim::Cycle, Packet<R>> arrivals_;
+  std::deque<R> unpack_;
+  std::vector<NodeId> last_events_;
+};
+
+template <class R>
+class Fabric {
+ public:
+  explicit Fabric(const ChannelConfig& config) : config_(config) {}
+
+  void attach(Endpoint<R>* endpoint) {
+    if (static_cast<std::size_t>(endpoint->self()) >= endpoints_.size()) {
+      endpoints_.resize(endpoint->self() + 1, nullptr);
+    }
+    endpoints_[endpoint->self()] = endpoint;
+  }
+
+  /// The egress `send` hook: stamps the traffic matrix and schedules the
+  /// in-order arrival at the destination.
+  void send(const Packet<R>& p, sim::Cycle now) {
+    traffic_.record(p.src, p.dst);
+    endpoints_.at(p.dst)->deliver(p, now + config_.link_latency);
+  }
+
+  const TrafficMatrix& traffic() const { return traffic_; }
+  const ChannelConfig& config() const { return config_; }
+
+ private:
+  ChannelConfig config_;
+  std::vector<Endpoint<R>*> endpoints_;
+  TrafficMatrix traffic_;
+};
+
+}  // namespace fasda::net

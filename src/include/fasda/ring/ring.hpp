@@ -1,0 +1,152 @@
+#pragma once
+// The 1-D daisy-chain ("ring") interconnect of §3.2.
+//
+// A Ring owns one hop slot per station (CBB ring nodes plus EX nodes), so a
+// token takes one cycle per hop. Each cycle every occupied slot consults its
+// station: pass, deliver a copy (position multicast), deliver-and-drop
+// (force/migration unicast, or the last position copy), or drop. A delivery
+// that the station cannot accept (input FIFO full) stalls the token in
+// place — backpressure propagates upstream exactly like a ready/valid
+// chain. Tokens then advance simultaneously into free slots (bubbles
+// propagate backwards; a completely full ring of moving tokens rotates).
+// Freed slots accept injections from their station's local FIFO.
+//
+// The whole ring ticks as one Component, which keeps movement atomic and
+// independent of global component ordering.
+
+#include <optional>
+#include <vector>
+
+#include "fasda/sim/kernel.hpp"
+
+namespace fasda::ring {
+
+template <class T>
+class Station {
+ public:
+  enum class Action { kPass, kDeliver, kDeliverAndDrop, kDrop };
+
+  virtual ~Station() = default;
+
+  /// Decides what this station wants to do with a token sitting at it.
+  virtual Action classify(const T& token) const = 0;
+
+  /// Hands over a copy (kDeliver) or the token itself (kDeliverAndDrop).
+  /// Returns false when the station cannot accept this cycle; the token then
+  /// stalls in its slot and is retried next cycle. May mutate the token on
+  /// success (e.g. decrement a multicast counter).
+  virtual bool try_deliver(T& token) = 0;
+
+  /// Local injection source, or nullptr if this station never injects.
+  virtual sim::Fifo<T>* inject_source() = 0;
+};
+
+template <class T>
+class Ring : public sim::Component {
+ public:
+  Ring(std::string name, std::vector<Station<T>*> stations)
+      : Component(std::move(name)),
+        stations_(std::move(stations)),
+        slots_(stations_.size()) {}
+
+  std::size_t num_stations() const { return stations_.size(); }
+
+  /// Tokens currently travelling (occupied hop slots).
+  std::size_t occupancy() const {
+    std::size_t n = 0;
+    for (const auto& s : slots_) n += s.has_value();
+    return n;
+  }
+
+  const sim::UtilCounter& util() const { return util_; }
+
+  void tick(sim::Cycle) override {
+    const std::size_t n = slots_.size();
+    if (n == 0) return;
+
+    std::vector<bool> wants_move(n, false);
+    std::size_t occupied = 0;
+
+    // Phase 1: station interaction. A token that delivered a copy but could
+    // not advance last cycle is marked delivered_here so the station never
+    // receives a duplicate while it waits for the slot ahead to free up.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!slots_[i]) continue;
+      ++occupied;
+      Slot& slot = *slots_[i];
+      if (slot.delivered_here) {
+        wants_move[i] = true;
+        continue;
+      }
+      switch (stations_[i]->classify(slot.token)) {
+        case Station<T>::Action::kPass:
+          wants_move[i] = true;
+          break;
+        case Station<T>::Action::kDeliver:
+          if (stations_[i]->try_deliver(slot.token)) {
+            slot.delivered_here = true;
+            wants_move[i] = true;
+          }
+          break;
+        case Station<T>::Action::kDeliverAndDrop:
+          if (stations_[i]->try_deliver(slot.token)) {
+            slots_[i].reset();
+          }
+          break;
+        case Station<T>::Action::kDrop:
+          slots_[i].reset();
+          break;
+      }
+    }
+
+    util_.record(occupied, n, occupied > 0);
+
+    // Phase 2: movement. can_move relaxation handles the circular
+    // dependency; a full ring of movers rotates, a stalled token blocks
+    // everything behind it.
+    std::vector<bool> can_move = wants_move;
+    for (std::size_t pass = 0; pass < n; ++pass) {
+      bool changed = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!can_move[i]) continue;
+        const std::size_t next = (i + 1) % n;
+        const bool next_free = !slots_[next] || can_move[next];
+        if (!next_free) {
+          can_move[i] = false;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    std::vector<std::optional<Slot>> next_slots(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!slots_[i]) continue;
+      if (can_move[i]) {
+        slots_[i]->delivered_here = false;  // arriving at a new station
+        next_slots[(i + 1) % n] = std::move(slots_[i]);
+      } else {
+        next_slots[i] = std::move(slots_[i]);
+      }
+    }
+    slots_ = std::move(next_slots);
+
+    // Phase 3: injection into empty slots.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (slots_[i]) continue;
+      sim::Fifo<T>* src = stations_[i]->inject_source();
+      if (src != nullptr && !src->empty()) slots_[i] = Slot{src->pop(), false};
+    }
+  }
+
+ private:
+  struct Slot {
+    T token;
+    bool delivered_here = false;
+  };
+
+  std::vector<Station<T>*> stations_;
+  std::vector<std::optional<Slot>> slots_;
+  sim::UtilCounter util_;
+};
+
+}  // namespace fasda::ring

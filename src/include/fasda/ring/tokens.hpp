@@ -1,0 +1,43 @@
+#pragma once
+// Token payloads carried by the three on-chip rings (§3.2) and, packed four
+// to a 512-bit AXI-Stream packet, by the inter-FPGA links (§4.3).
+
+#include <cstdint>
+
+#include "fasda/fixed/fixed_point.hpp"
+#include "fasda/geom/vec3.hpp"
+#include "fasda/md/force_field.hpp"
+
+namespace fasda::ring {
+
+/// A particle position travelling the position ring. The source cell is
+/// identified by its LCID in the receiving node's frame (§4.2), so every
+/// CBB's acceptance check is identical on every FPGA.
+struct PosToken {
+  geom::IVec3 src_lcid;       ///< source cell, local-node frame, [0, G)
+  fixed::FixedVec3 offset;    ///< in-cell offset (RCID = 2 on each axis)
+  md::ElementId elem = 0;
+  std::uint16_t slot = 0;     ///< particle index within its source cell
+  /// Local CBBs still to visit; the PRN that takes the last copy drops the
+  /// token from the ring (the Eq. 7 travel-time optimization).
+  std::uint8_t deliveries_remaining = 0;
+};
+
+/// An accumulated neighbour force heading back to its home cell. Exactly one
+/// destination (§3.2), which may be off-node (the EX node extracts those).
+struct ForceToken {
+  geom::IVec3 dest_lcid;  ///< home cell, local-node frame
+  geom::Vec3f force;      ///< internal units
+  std::uint16_t slot = 0;
+};
+
+/// A particle migrating between cells during motion update.
+struct MigrateToken {
+  geom::IVec3 dest_lcid;
+  fixed::FixedVec3 offset;  ///< offset already rebased into the target cell
+  geom::Vec3f vel;
+  md::ElementId elem = 0;
+  std::uint32_t particle_id = 0;
+};
+
+}  // namespace fasda::ring

@@ -1,0 +1,188 @@
+#pragma once
+// Cycle-driven simulation kernel.
+//
+// One Scheduler cycle models one 200 MHz FPGA clock. Every cycle has two
+// phases: all Components tick() (reading only state committed in earlier
+// cycles, staging their writes), then all Clocked elements commit().
+// Because reads never observe same-cycle writes, results are independent of
+// the order components are ticked in — the same property RTL gets from
+// edge-triggered registers.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fasda::sim {
+
+using Cycle = std::uint64_t;
+
+/// Anything with two-phase (staged) state.
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+  virtual void commit() = 0;
+};
+
+/// Anything that does work each cycle.
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+  virtual void tick(Cycle now) = 0;
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Two-phase FIFO: push() stages (visible next cycle); pop()/front() operate
+/// on the committed view. Intended for a single consumer per FIFO.
+template <class T>
+class Fifo : public Clocked {
+ public:
+  explicit Fifo(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Space check against committed + staged occupancy.
+  bool can_push() const { return items_.size() + staged_.size() < capacity_; }
+
+  /// Stages an item; returns false (and drops nothing) when full.
+  bool push(T value) {
+    if (!can_push()) return false;
+    staged_.push_back(std::move(value));
+    return true;
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Committed + staged: used by drain/quiescence checks, not by datapaths.
+  std::size_t total_occupancy() const { return items_.size() + staged_.size(); }
+
+  const T& front() const { return items_.front(); }
+
+  T pop() {
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  void commit() override {
+    for (auto& v : staged_) items_.push_back(std::move(v));
+    staged_.clear();
+  }
+
+ private:
+  std::deque<T> items_;
+  std::vector<T> staged_;
+  std::size_t capacity_;
+};
+
+/// Two-phase single-entry register. Writes land only into a slot that was
+/// empty at cycle start (conservative handshake: a full slot must be cleared
+/// one cycle before it can be refilled), which keeps behaviour independent
+/// of component tick order. Rings own their hop slots collectively and do
+/// not use this class.
+template <class T>
+class Reg : public Clocked {
+ public:
+  bool valid() const { return valid_; }
+  const T& value() const { return value_; }
+
+  bool can_write() const { return !valid_ && !write_staged_; }
+
+  void write(T value) {
+    if (!can_write()) throw std::logic_error("Reg overwrite");
+    staged_value_ = std::move(value);
+    write_staged_ = true;
+  }
+
+  void clear() { clear_staged_ = true; }
+
+  void commit() override {
+    if (clear_staged_) valid_ = false;
+    if (write_staged_) {
+      value_ = std::move(staged_value_);
+      valid_ = true;
+    }
+    clear_staged_ = write_staged_ = false;
+  }
+
+ private:
+  T value_{};
+  T staged_value_{};
+  bool valid_ = false;
+  bool write_staged_ = false;
+  bool clear_staged_ = false;
+};
+
+/// Utilization bookkeeping for Fig. 17. "Hardware utilization" is work done
+/// relative to capacity while the whole run lasted; "time utilization" is
+/// the fraction of cycles the component was active (pipeline possibly not
+/// full, but functioning).
+struct UtilCounter {
+  std::uint64_t work = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t active_cycles = 0;
+
+  void record(std::uint64_t done, std::uint64_t possible, bool active) {
+    work += done;
+    capacity += possible;
+    active_cycles += active ? 1 : 0;
+  }
+
+  void merge(const UtilCounter& o) {
+    work += o.work;
+    capacity += o.capacity;
+    active_cycles += o.active_cycles;
+  }
+
+  double hardware_utilization() const {
+    return capacity == 0 ? 0.0
+                         : static_cast<double>(work) / static_cast<double>(capacity);
+  }
+
+  double time_utilization(Cycle total_cycles, std::uint64_t instances = 1) const {
+    const auto denom = total_cycles * instances;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(active_cycles) /
+                            static_cast<double>(denom);
+  }
+};
+
+class Scheduler {
+ public:
+  void add(Component* c) { components_.push_back(c); }
+  void add_clocked(Clocked* c) { clocked_.push_back(c); }
+
+  Cycle cycle() const { return cycle_; }
+
+  void run_cycle() {
+    for (Component* c : components_) c->tick(cycle_);
+    for (Clocked* c : clocked_) c->commit();
+    ++cycle_;
+  }
+
+  /// Runs until done() is true (checked between cycles) or the budget is
+  /// exhausted; returns the cycle count at exit. Throws on budget overrun so
+  /// deadlocks in the model fail loudly.
+  Cycle run_until(const std::function<bool()>& done, Cycle max_cycles) {
+    while (!done()) {
+      if (cycle_ >= max_cycles) {
+        throw std::runtime_error("Scheduler::run_until exceeded cycle budget");
+      }
+      run_cycle();
+    }
+    return cycle_;
+  }
+
+ private:
+  std::vector<Component*> components_;
+  std::vector<Clocked*> clocked_;
+  Cycle cycle_ = 0;
+};
+
+}  // namespace fasda::sim

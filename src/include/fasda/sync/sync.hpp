@@ -1,0 +1,102 @@
+#pragma once
+// Chained synchronization (§4.4, Figs. 12-13).
+//
+// Each node exchanges "last position" / "last force" signals with its
+// immediate neighbours only (the signals ride the final packet of each
+// stream, net::Packet::last). A node may advance to motion update once all
+// four criteria hold — last position sent and received, last force sent and
+// received, each counted against the number of neighbouring nodes — and the
+// motion-update phase uses the simplified single-signal variant. There is
+// no global barrier: distant nodes decouple from a straggler and get a head
+// start into the next iteration.
+//
+// BulkBarrier models the conventional alternative (Fig. 12 left): every
+// node arrives at a central coordinator and is released `release_latency`
+// cycles after the slowest arrival. Used by the synchronization ablation.
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+
+#include "fasda/sim/kernel.hpp"
+
+namespace fasda::sync {
+
+enum class SyncMode { kChained, kBulk };
+
+/// Per-node signal counters for one iteration.
+class ChainedSync {
+ public:
+  explicit ChainedSync(int num_neighbors) : neighbors_(num_neighbors) {}
+
+  void begin_iteration() {
+    pos_received_ = frc_received_ = mu_received_ = 0;
+    pos_sent_ = frc_sent_ = mu_sent_ = false;
+  }
+
+  void on_last_position_received() { ++pos_received_; }
+  void on_last_force_received() { ++frc_received_; }
+  void on_last_mu_received() { ++mu_received_; }
+
+  void mark_last_position_sent() { pos_sent_ = true; }
+  void mark_last_force_sent() { frc_sent_ = true; }
+  void mark_last_mu_sent() { mu_sent_ = true; }
+
+  bool last_position_sent() const { return pos_sent_; }
+  bool last_force_sent() const { return frc_sent_; }
+  bool last_mu_sent() const { return mu_sent_; }
+
+  bool all_positions_received() const { return pos_received_ >= neighbors_; }
+  bool all_forces_received() const { return frc_received_ >= neighbors_; }
+  bool all_mu_received() const { return mu_received_ >= neighbors_; }
+
+  /// The four §4.4 criteria.
+  bool may_enter_motion_update() const {
+    return pos_sent_ && frc_sent_ && all_positions_received() &&
+           all_forces_received();
+  }
+
+  bool may_finish_motion_update() const { return mu_sent_ && all_mu_received(); }
+
+  int num_neighbors() const { return neighbors_; }
+
+ private:
+  int neighbors_;
+  int pos_received_ = 0, frc_received_ = 0, mu_received_ = 0;
+  bool pos_sent_ = false, frc_sent_ = false, mu_sent_ = false;
+};
+
+/// Global barrier with a release latency (host round trip or central-FPGA
+/// hop). A node arrives once per (iteration, phase) sequence number and is
+/// released `release_latency` cycles after the slowest arrival.
+class BulkBarrier {
+ public:
+  BulkBarrier(int num_nodes, sim::Cycle release_latency)
+      : num_nodes_(num_nodes), release_latency_(release_latency) {}
+
+  void arrive(std::uint64_t seq, sim::Cycle now) {
+    Generation& g = generations_[seq];
+    if (g.arrived >= num_nodes_) {
+      throw std::logic_error("BulkBarrier: more arrivals than nodes");
+    }
+    if (++g.arrived == num_nodes_) g.release_at = now + release_latency_;
+  }
+
+  bool released(std::uint64_t seq, sim::Cycle now) const {
+    const auto it = generations_.find(seq);
+    return it != generations_.end() && it->second.arrived == num_nodes_ &&
+           now >= it->second.release_at;
+  }
+
+ private:
+  struct Generation {
+    int arrived = 0;
+    sim::Cycle release_at = 0;
+  };
+
+  int num_nodes_;
+  sim::Cycle release_latency_;
+  std::map<std::uint64_t, Generation> generations_;
+};
+
+}  // namespace fasda::sync

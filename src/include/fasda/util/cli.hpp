@@ -1,0 +1,31 @@
+#pragma once
+// Tiny flag parser shared by benches and examples: --key value / --key=value
+// / bare --switch. Unknown flags are collected so harnesses can forward them.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fasda::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(std::string_view name) const;
+
+  std::optional<std::string> get(std::string_view name) const;
+  std::string get_or(std::string_view name, std::string_view fallback) const;
+  long get_or(std::string_view name, long fallback) const;
+  double get_or(std::string_view name, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> flags_;  // name -> value ("" if none)
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fasda::util

@@ -1,0 +1,39 @@
+#pragma once
+// Minimal leveled logger (printf-style; GCC 12 lacks <format>). Benches and
+// examples print their own tables; the logger is for diagnostics, so it
+// stays out of hot paths entirely.
+
+#include <cstdarg>
+
+namespace fasda::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so
+/// library users see nothing unless they opt in.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const char* fmt, std::va_list args);
+}
+
+#if defined(__GNUC__)
+#define FASDA_PRINTF_LIKE __attribute__((format(printf, 2, 3)))
+#else
+#define FASDA_PRINTF_LIKE
+#endif
+
+inline void log(LogLevel level, const char* fmt, ...) FASDA_PRINTF_LIKE;
+
+inline void log(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  std::va_list args;
+  va_start(args, fmt);
+  detail::log_emit(level, fmt, args);
+  va_end(args);
+}
+
+#undef FASDA_PRINTF_LIKE
+
+}  // namespace fasda::util

@@ -1,0 +1,24 @@
+#pragma once
+// Wall-clock stopwatch used by the measured (CPU) side of Fig. 16.
+
+#include <chrono>
+
+namespace fasda::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fasda::util

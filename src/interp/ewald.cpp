@@ -1,0 +1,28 @@
+#include "fasda/interp/ewald.hpp"
+
+#include <cmath>
+
+namespace fasda::interp {
+
+namespace {
+constexpr double kTwoOverSqrtPi = 1.1283791670955126;
+}
+
+InterpTable build_ewald_force_table(double beta_rc, const InterpConfig& config) {
+  return InterpTable::build(
+      [beta_rc](double u2) {
+        const double u = std::sqrt(u2);
+        const double bu = beta_rc * u;
+        return (std::erfc(bu) + kTwoOverSqrtPi * bu * std::exp(-bu * bu)) /
+               (u2 * u);
+      },
+      config);
+}
+
+InterpTable build_ewald_energy_table(double beta_rc, const InterpConfig& config) {
+  return InterpTable::build(
+      [beta_rc](double u2) { return std::erfc(beta_rc * std::sqrt(u2)) / std::sqrt(u2); },
+      config);
+}
+
+}  // namespace fasda::interp

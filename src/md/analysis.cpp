@@ -1,0 +1,105 @@
+#include "fasda/md/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "fasda/md/units.hpp"
+
+namespace fasda::md {
+
+double temperature(const SystemState& state, const ForceField& ff) {
+  if (state.size() == 0) return 0.0;
+  const double ke = kinetic_energy(state, ff);
+  return 2.0 * ke /
+         (3.0 * static_cast<double>(state.size()) * units::kBoltzmann);
+}
+
+void rescale_to_temperature(SystemState& state, const ForceField& ff,
+                            double target_k) {
+  const double current = temperature(state, ff);
+  if (current <= 0.0) return;
+  const double factor = std::sqrt(target_k / current);
+  for (auto& v : state.velocities) v *= factor;
+}
+
+RdfResult radial_distribution(const SystemState& state, double r_max, int bins,
+                              int elem_a, int elem_b) {
+  const geom::CellGrid grid = state.grid();
+  const geom::Vec3d box = grid.box();
+  const double half_min_edge = 0.5 * std::min({box.x, box.y, box.z});
+  if (r_max > half_min_edge + 1e-9) {
+    throw std::invalid_argument(
+        "radial_distribution: r_max exceeds half the shortest box edge");
+  }
+  if (bins < 1) throw std::invalid_argument("radial_distribution: bins < 1");
+
+  RdfResult out;
+  out.bin_width = r_max / bins;
+  out.count.assign(static_cast<std::size_t>(bins), 0);
+  out.g.assign(static_cast<std::size_t>(bins), 0.0);
+
+  auto matches = [](int want, ElementId e) {
+    return want < 0 || static_cast<int>(e) == want;
+  };
+
+  std::size_t n_a = 0, n_b = 0;
+  for (const auto e : state.elements) {
+    if (matches(elem_a, e)) ++n_a;
+    if (matches(elem_b, e)) ++n_b;
+  }
+
+  const double r_max2 = r_max * r_max;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    for (std::size_t j = 0; j < state.size(); ++j) {
+      if (i == j) continue;
+      if (!matches(elem_a, state.elements[i])) continue;
+      if (!matches(elem_b, state.elements[j])) continue;
+      const double r2 =
+          grid.min_image(state.positions[i], state.positions[j]).norm2();
+      if (r2 >= r_max2) continue;
+      const auto bin = static_cast<std::size_t>(std::sqrt(r2) / out.bin_width);
+      if (bin < out.count.size()) out.count[bin]++;
+    }
+  }
+
+  // Normalize against the ideal-gas expectation for the b-species density.
+  const double volume = box.x * box.y * box.z;
+  const double rho_b = static_cast<double>(n_b) / volume;
+  for (int b = 0; b < bins; ++b) {
+    const double r0 = b * out.bin_width;
+    const double r1 = r0 + out.bin_width;
+    const double shell =
+        4.0 / 3.0 * std::numbers::pi * (r1 * r1 * r1 - r0 * r0 * r0);
+    const double expected = static_cast<double>(n_a) * rho_b * shell;
+    out.g[static_cast<std::size_t>(b)] =
+        expected > 0.0 ? static_cast<double>(out.count[b]) / expected : 0.0;
+  }
+  return out;
+}
+
+MsdTracker::MsdTracker(const SystemState& initial)
+    : grid_(initial.cell_dims, initial.cell_size),
+      reference_(initial.positions),
+      previous_(initial.positions),
+      unwrapped_(initial.positions) {}
+
+double MsdTracker::update(const SystemState& state) {
+  if (state.size() != reference_.size()) {
+    throw std::invalid_argument("MsdTracker: particle count changed");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    // Minimum-image step from the previous wrapped position accumulates
+    // into the unwrapped trajectory.
+    unwrapped_[i] += grid_.min_image(previous_[i], state.positions[i]);
+    previous_[i] = state.positions[i];
+    total += (unwrapped_[i] - reference_[i]).norm2();
+  }
+  const double msd = total / static_cast<double>(state.size());
+  history_.push_back(msd);
+  return msd;
+}
+
+}  // namespace fasda::md

@@ -1,0 +1,99 @@
+#include "fasda/md/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace fasda::md {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'A', 'S', 'D', 'A', 'C', 'K', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+template <class T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <class T>
+void read_pod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("checkpoint: truncated stream");
+}
+
+}  // namespace
+
+void save_checkpoint(std::ostream& out, const SystemState& state) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, state.cell_dims.x);
+  write_pod(out, state.cell_dims.y);
+  write_pod(out, state.cell_dims.z);
+  write_pod(out, state.cell_size);
+  const auto count = static_cast<std::uint64_t>(state.size());
+  write_pod(out, count);
+  for (const auto& p : state.positions) {
+    write_pod(out, p.x);
+    write_pod(out, p.y);
+    write_pod(out, p.z);
+  }
+  for (const auto& v : state.velocities) {
+    write_pod(out, v.x);
+    write_pod(out, v.y);
+    write_pod(out, v.z);
+  }
+  out.write(reinterpret_cast<const char*>(state.elements.data()),
+            static_cast<std::streamsize>(state.elements.size()));
+}
+
+void save_checkpoint(const std::string& path, const SystemState& state) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+  save_checkpoint(out, state);
+}
+
+SystemState load_checkpoint(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  std::uint32_t version = 0;
+  read_pod(in, version);
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version");
+  }
+  SystemState state;
+  read_pod(in, state.cell_dims.x);
+  read_pod(in, state.cell_dims.y);
+  read_pod(in, state.cell_dims.z);
+  read_pod(in, state.cell_size);
+  std::uint64_t count = 0;
+  read_pod(in, count);
+  state.positions.resize(count);
+  state.velocities.resize(count);
+  state.elements.resize(count);
+  for (auto& p : state.positions) {
+    read_pod(in, p.x);
+    read_pod(in, p.y);
+    read_pod(in, p.z);
+  }
+  for (auto& v : state.velocities) {
+    read_pod(in, v.x);
+    read_pod(in, v.y);
+    read_pod(in, v.z);
+  }
+  in.read(reinterpret_cast<char*>(state.elements.data()),
+          static_cast<std::streamsize>(count));
+  if (!in) throw std::runtime_error("checkpoint: truncated stream");
+  return state;
+}
+
+SystemState load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  return load_checkpoint(in);
+}
+
+}  // namespace fasda::md

@@ -1,0 +1,143 @@
+#include "fasda/md/ewald_longrange.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fasda::md {
+
+namespace {
+
+/// Precomputed per-particle phase factors e^(i·2π·n·x/L) for n in
+/// [-kmax, kmax], built by repeated multiplication (one sincos per
+/// particle per axis).
+struct PhaseTable {
+  PhaseTable(std::size_t particles, int kmax)
+      : kmax_(kmax), stride_(2 * kmax + 1), data_(particles * stride_) {}
+
+  std::complex<double>& at(std::size_t i, int n) {
+    return data_[i * stride_ + (n + kmax_)];
+  }
+  const std::complex<double>& at(std::size_t i, int n) const {
+    return data_[i * stride_ + (n + kmax_)];
+  }
+
+  void fill(const std::vector<geom::Vec3d>& positions, double box,
+            double geom::Vec3d::*axis) {
+    const double step = 2.0 * std::numbers::pi / box;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      const double phase = step * (positions[i].*axis);
+      const std::complex<double> unit(std::cos(phase), std::sin(phase));
+      at(i, 0) = 1.0;
+      for (int n = 1; n <= kmax_; ++n) {
+        at(i, n) = at(i, n - 1) * unit;
+        at(i, -n) = std::conj(at(i, n));
+      }
+    }
+  }
+
+  int kmax_;
+  std::size_t stride_;
+  std::vector<std::complex<double>> data_;
+};
+
+}  // namespace
+
+EwaldLongRange::EwaldLongRange(const ForceField& ff, double beta, int kmax)
+    : ff_(ff), beta_(beta), kmax_(kmax) {
+  if (beta <= 0.0 || kmax < 1) {
+    throw std::invalid_argument("EwaldLongRange: beta > 0 and kmax >= 1");
+  }
+}
+
+double EwaldLongRange::energy(const SystemState& state) const {
+  const geom::Vec3d box = state.grid().box();
+  const double volume = box.x * box.y * box.z;
+  const std::size_t n = state.size();
+
+  PhaseTable px(n, kmax_), py(n, kmax_), pz(n, kmax_);
+  px.fill(state.positions, box.x, &geom::Vec3d::x);
+  py.fill(state.positions, box.y, &geom::Vec3d::y);
+  pz.fill(state.positions, box.z, &geom::Vec3d::z);
+
+  const double two_pi = 2.0 * std::numbers::pi;
+  double recip = 0.0;
+  double total_charge = 0.0;
+  double charge2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = ff_.element(state.elements[i]).charge;
+    total_charge += q;
+    charge2 += q * q;
+  }
+
+  for (int kx = -kmax_; kx <= kmax_; ++kx) {
+    for (int ky = -kmax_; ky <= kmax_; ++ky) {
+      for (int kz = -kmax_; kz <= kmax_; ++kz) {
+        if (kx == 0 && ky == 0 && kz == 0) continue;
+        const geom::Vec3d k{two_pi * kx / box.x, two_pi * ky / box.y,
+                            two_pi * kz / box.z};
+        const double k2 = k.norm2();
+        const double weight = std::exp(-k2 / (4.0 * beta_ * beta_)) / k2;
+        std::complex<double> s{};
+        for (std::size_t i = 0; i < n; ++i) {
+          const double q = ff_.element(state.elements[i]).charge;
+          s += q * px.at(i, kx) * py.at(i, ky) * pz.at(i, kz);
+        }
+        recip += weight * std::norm(s);
+      }
+    }
+  }
+  recip *= kCoulomb * two_pi / volume;
+
+  const double self =
+      -kCoulomb * beta_ / std::sqrt(std::numbers::pi) * charge2;
+  // Neutralizing background for non-neutral systems (zero when Σq = 0).
+  const double background = -kCoulomb * std::numbers::pi /
+                            (2.0 * volume * beta_ * beta_) * total_charge *
+                            total_charge;
+  return recip + self + background;
+}
+
+std::vector<geom::Vec3d> EwaldLongRange::forces(const SystemState& state) const {
+  const geom::Vec3d box = state.grid().box();
+  const double volume = box.x * box.y * box.z;
+  const std::size_t n = state.size();
+
+  PhaseTable px(n, kmax_), py(n, kmax_), pz(n, kmax_);
+  px.fill(state.positions, box.x, &geom::Vec3d::x);
+  py.fill(state.positions, box.y, &geom::Vec3d::y);
+  pz.fill(state.positions, box.z, &geom::Vec3d::z);
+
+  const double two_pi = 2.0 * std::numbers::pi;
+  std::vector<geom::Vec3d> out(n);
+
+  for (int kx = -kmax_; kx <= kmax_; ++kx) {
+    for (int ky = -kmax_; ky <= kmax_; ++ky) {
+      for (int kz = -kmax_; kz <= kmax_; ++kz) {
+        if (kx == 0 && ky == 0 && kz == 0) continue;
+        const geom::Vec3d k{two_pi * kx / box.x, two_pi * ky / box.y,
+                            two_pi * kz / box.z};
+        const double k2 = k.norm2();
+        const double weight = std::exp(-k2 / (4.0 * beta_ * beta_)) / k2;
+        std::complex<double> s{};
+        for (std::size_t i = 0; i < n; ++i) {
+          const double q = ff_.element(state.elements[i]).charge;
+          s += q * px.at(i, kx) * py.at(i, ky) * pz.at(i, kz);
+        }
+        // F_i = −∂E/∂r_i = −k_e (4π/V) q_i k · weight ·
+        //       Im[conj(e^{i k r_i}) S(k)].
+        const double prefactor = kCoulomb * 2.0 * two_pi / volume * weight;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double q = ff_.element(state.elements[i]).charge;
+          const std::complex<double> phase =
+              px.at(i, kx) * py.at(i, ky) * pz.at(i, kz);
+          const double im = std::imag(std::conj(phase) * s);
+          out[i] -= k * (prefactor * q * im);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fasda::md

@@ -1,0 +1,22 @@
+#include "fasda/md/system_state.hpp"
+
+namespace fasda::md {
+
+double kinetic_energy(const SystemState& state, const ForceField& ff) {
+  double ke = 0.0;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    const double m = ff.element(state.elements[i]).mass;
+    ke += 0.5 * m * state.velocities[i].norm2();
+  }
+  return ke;
+}
+
+geom::Vec3d total_momentum(const SystemState& state, const ForceField& ff) {
+  geom::Vec3d p{};
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    p += state.velocities[i] * ff.element(state.elements[i]).mass;
+  }
+  return p;
+}
+
+}  // namespace fasda::md

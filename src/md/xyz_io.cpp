@@ -1,0 +1,92 @@
+#include "fasda/md/xyz_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fasda::md {
+
+void write_xyz_frame(std::ostream& out, const SystemState& state,
+                     const ForceField& ff, const std::string& comment_extra) {
+  out << state.size() << '\n';
+  const geom::Vec3d box = state.grid().box();
+  out << "box=\"" << box.x << ' ' << box.y << ' ' << box.z << "\" cells=\""
+      << state.cell_dims.x << ' ' << state.cell_dims.y << ' '
+      << state.cell_dims.z << '"';
+  if (!comment_extra.empty()) out << ' ' << comment_extra;
+  out << '\n';
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    const auto& p = state.positions[i];
+    out << ff.element(state.elements[i]).name << ' ' << p.x << ' ' << p.y
+        << ' ' << p.z << '\n';
+  }
+}
+
+struct XyzWriter::Impl {
+  std::ofstream out;
+};
+
+XyzWriter::XyzWriter(std::string path, const ForceField& ff)
+    : impl_(new Impl{std::ofstream(path)}), ff_(ff) {
+  if (!impl_->out) {
+    delete impl_;
+    throw std::runtime_error("XyzWriter: cannot open " + path);
+  }
+}
+
+XyzWriter::~XyzWriter() { delete impl_; }
+
+void XyzWriter::write(const SystemState& state, const std::string& extra) {
+  write_xyz_frame(impl_->out, state, ff_, extra);
+  impl_->out.flush();
+  ++frames_;
+}
+
+bool read_xyz_frame(std::istream& in, const ForceField& ff, SystemState& state) {
+  std::size_t count = 0;
+  if (!(in >> count)) return false;
+  std::string line;
+  std::getline(in, line);  // rest of the count line
+  std::getline(in, line);  // comment
+
+  // Parse cells="cx cy cz" and box="bx by bz" from our own comment format.
+  auto parse_triplet = [&line](const std::string& key, double* out3) {
+    const auto pos = line.find(key + "=\"");
+    if (pos == std::string::npos) return false;
+    std::istringstream iss(line.substr(pos + key.size() + 2));
+    return static_cast<bool>(iss >> out3[0] >> out3[1] >> out3[2]);
+  };
+  double box[3] = {0, 0, 0}, cells[3] = {0, 0, 0};
+  if (parse_triplet("cells", cells) && parse_triplet("box", box)) {
+    state.cell_dims = {static_cast<int>(cells[0]), static_cast<int>(cells[1]),
+                       static_cast<int>(cells[2])};
+    state.cell_size = cells[0] > 0 ? box[0] / cells[0] : 0.0;
+  }
+
+  state.positions.assign(count, {});
+  state.velocities.assign(count, {});
+  state.elements.assign(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name;
+    geom::Vec3d p;
+    if (!(in >> name >> p.x >> p.y >> p.z)) {
+      throw std::runtime_error("read_xyz_frame: truncated frame");
+    }
+    state.positions[i] = p;
+    bool found = false;
+    for (ElementId e = 0; e < ff.num_elements(); ++e) {
+      if (ff.element(e).name == name) {
+        state.elements[i] = e;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::runtime_error("read_xyz_frame: unknown element " + name);
+    }
+  }
+  std::getline(in, line);  // consume the trailing newline
+  return true;
+}
+
+}  // namespace fasda::md

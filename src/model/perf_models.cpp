@@ -1,0 +1,45 @@
+#include "fasda/model/perf_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fasda::model {
+
+double standard_pair_count(std::size_t particles) {
+  const double m = 0.155 * 27.0 * 64.0;  // Eq. 3 at 64 particles per cell
+  return static_cast<double>(particles) * m / 2.0;
+}
+
+double us_per_day_from_step_seconds(double step_seconds, double dt_fs) {
+  const double steps_per_day = 86400.0 / step_seconds;
+  return steps_per_day * dt_fs * 1e-9;
+}
+
+double GpuModel::step_seconds(std::size_t particles, int gpus,
+                              GpuKind kind) const {
+  const double throughput = (kind == GpuKind::kA100)
+                                ? params_.a100_pairs_per_second
+                                : params_.v100_pairs_per_second;
+  const double latency =
+      params_.base_latency_s + params_.per_extra_gpu_latency_s * (gpus - 1);
+  const double work =
+      standard_pair_count(particles) / (throughput * static_cast<double>(gpus));
+  return latency + work;
+}
+
+double CpuModel::step_seconds(std::size_t particles, int threads) const {
+  const double t = static_cast<double>(threads);
+  const double effective_threads =
+      t / (1.0 + params_.efficiency_quadratic * t * t);
+  const double work = standard_pair_count(particles) /
+                      (params_.pairs_per_second_per_thread * effective_threads);
+  const double barriers =
+      threads > 1 ? params_.barrier_s * std::log2(t) : 0.0;
+  // Per-thread force buffers must be reduced into one array each step; the
+  // traffic grows linearly with the thread count.
+  const double reduction = params_.reduction_s_per_particle_thread *
+                           static_cast<double>(particles) * t;
+  return work + barriers + reduction;
+}
+
+}  // namespace fasda::model

@@ -1,0 +1,57 @@
+#include "fasda/model/resource_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fasda::model {
+
+ResourceVector ResourceModel::per_fpga(const core::ClusterConfig& config) const {
+  const int cells = config.cells_per_node.product();
+  const int spes = config.spes;
+  const int pes_per_cell = spes * config.pes_per_spe;
+  const int pes = cells * pes_per_cell;
+  const int filters = pes * config.filters_per_pipeline;
+  // §4.5: FCs scale with the PEs — pes_per_spe + 1 per SPE.
+  const int fcs = cells * spes * (config.pes_per_spe + 1);
+  // PC per SPE plus one HPC and one VC per cell (§4.6).
+  const int caches = cells * (spes + 2) + fcs;
+  // Ring nodes: one PRN + FRN per SPE ring per cell, one MURN per cell.
+  const int ring_nodes = cells * (2 * spes + 1);
+  const int ex_nodes = 2 * spes + 1;  // per node, §4.6: EX scales with SPEs
+
+  const idmap::ClusterMap map(config.node_dims, config.cells_per_node);
+  const int neighbors = static_cast<int>(map.neighbor_nodes(0).size());
+
+  // Interpolation tables: a & b float32 coefficients for r^-14 and r^-8 in
+  // every pipeline (Fig. 6).
+  const double table_bits = 2.0 /*alphas*/ * 2.0 /*a,b*/ * 32.0 *
+                            static_cast<double>(config.table.num_sections) *
+                            config.table.num_bins;
+  const double table_bram = std::ceil(table_bits / (36.0 * 1024.0));
+
+  ResourceVector total = params_.node_base;
+  total += static_cast<double>(filters) * params_.filter;
+  total += static_cast<double>(pes) * params_.pipeline;
+  total += ResourceVector{0, 0, static_cast<double>(pes) * table_bram, 0, 0};
+  total += static_cast<double>(cells) * params_.mu;
+  total += static_cast<double>(caches) * params_.cache;
+  total += static_cast<double>(cells) * params_.cell_store;
+  total += static_cast<double>(ring_nodes) * params_.ring_node;
+  total += static_cast<double>(ex_nodes) * params_.ex_node;
+  total += static_cast<double>(cells) * params_.cbb_control;
+  if (neighbors > 0) {
+    total += params_.comm_base;
+    total += static_cast<double>(std::min(neighbors, params_.comm_neighbor_cap)) *
+             params_.comm_per_neighbor;
+  }
+  return total;
+}
+
+ResourceVector ResourceModel::utilization(const core::ClusterConfig& config) const {
+  const ResourceVector abs = per_fpga(config);
+  return {abs.lut / kU280Capacity.lut, abs.ff / kU280Capacity.ff,
+          abs.bram / kU280Capacity.bram, abs.uram / kU280Capacity.uram,
+          abs.dsp / kU280Capacity.dsp};
+}
+
+}  // namespace fasda::model

@@ -1,0 +1,22 @@
+#include "fasda/pe/force_model.hpp"
+
+#include "fasda/interp/ewald.hpp"
+
+namespace fasda::pe {
+
+ForceModel::ForceModel(const md::ForceField& ff, double cutoff,
+                       const interp::InterpConfig& table_config,
+                       const md::ForceTerms& terms)
+    : terms_(terms),
+      table14_(interp::InterpTable::build_r_pow(14, table_config)),
+      table8_(interp::InterpTable::build_r_pow(8, table_config)),
+      table_ew_(terms.ewald_real
+                    ? interp::build_ewald_force_table(terms.ewald_beta * cutoff,
+                                                      table_config)
+                    : interp::InterpTable::build_r_pow(2, table_config)),
+      coeffs_(ff.force_coeff_table(cutoff)),
+      ewald_coeffs_(ff.ewald_force_coeff_table(cutoff)),
+      num_elements_(ff.num_elements()),
+      min_r2q_(fixed::kR2One >> table_config.num_sections) {}
+
+}  // namespace fasda::pe

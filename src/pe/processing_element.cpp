@@ -1,0 +1,158 @@
+#include "fasda/pe/processing_element.hpp"
+
+namespace fasda::pe {
+
+PairProbe::Fn PairProbe::hook;
+RetireProbe::Fn RetireProbe::hook;
+
+ProcessingElement::ProcessingElement(std::string name, const PEConfig& config,
+                                     const ForceModel& model,
+                                     const std::vector<CellParticle>* home,
+                                     ForceSink* sink, int fc_index)
+    : Component(std::move(name)),
+      config_(config),
+      model_(model),
+      home_(home),
+      sink_(sink),
+      fc_index_(fc_index),
+      input_(config.input_queue_depth),
+      output_(config.output_queue_depth) {}
+
+void ProcessingElement::tick(sim::Cycle now) {
+  // Order within a cycle mirrors the RTL stages back-to-front so each stage
+  // consumes state its upstream produced in *earlier* cycles.
+  drain_pipeline(now);
+  issue_pair(now);
+  stream_and_filter();
+  retire_references();
+  if (!pass_active_) reload_filters();
+
+  const bool active = pass_active_ || !pipeline_.empty() || !pair_buffer_.empty();
+  pe_util_.record(0, 0, active);  // work/capacity recorded in issue_pair
+}
+
+void ProcessingElement::drain_pipeline(sim::Cycle now) {
+  while (!pipeline_.empty() && pipeline_.front().completes_at <= now) {
+    PipelineEntry e = std::move(pipeline_.front());
+    pipeline_.pop_front();
+    sink_->accumulate(e.home_slot, e.force_on_home, fc_index_);
+    e.ref->acc -= e.force_on_home;
+    e.ref->pending--;
+  }
+}
+
+void ProcessingElement::issue_pair(sim::Cycle now) {
+  if (pair_buffer_.empty()) {
+    pe_util_.record(0, 1, false);
+    return;
+  }
+  PairCandidate c = std::move(pair_buffer_.front());
+  pair_buffer_.pop_front();
+  const CellParticle& home = (*home_)[c.home_slot];
+  PipelineEntry e;
+  e.force_on_home =
+      model_.pair_force(home.pos, home.elem, c.ref->ref.pos, c.ref->ref.elem);
+  e.home_slot = c.home_slot;
+  e.ref = std::move(c.ref);
+  e.completes_at = now + static_cast<sim::Cycle>(config_.pipeline_latency);
+  if (PairProbe::hook) {
+    PairProbe::hook((*home_)[e.home_slot].id, e.ref->ref, e.force_on_home);
+  }
+  pipeline_.push_back(std::move(e));
+  ++pairs_issued_;
+  pe_util_.record(1, 1, false);
+}
+
+void ProcessingElement::stream_and_filter() {
+  if (!pass_active_) return;
+  // Worst case every loaded filter accepts this cycle; only advance when the
+  // buffer can take the burst (the hardware's filter-output backpressure).
+  if (pair_buffer_.size() + filters_.size() > config_.pair_buffer_depth) {
+    filter_util_.record(0, static_cast<std::uint64_t>(config_.num_filters), true);
+    return;
+  }
+  const CellParticle& home = (*home_)[stream_index_];
+  for (auto& ref : filters_) {
+    if (ref->ref.is_home && stream_index_ <= ref->ref.home_index) continue;
+    const std::uint64_t r2q = fixed::r2_fixed(ref->ref.pos, home.pos);
+    if (model_.filter(r2q)) {
+      // `pending` counts from acceptance, not pipeline issue: a reference
+      // must not retire while accepted pairs still wait in the buffer.
+      ref->pending++;
+      ref->any_pair = true;
+      pair_buffer_.push_back(PairCandidate{ref, static_cast<std::uint16_t>(
+                                                    stream_index_)});
+    }
+  }
+  filter_util_.record(filters_.size(),
+                      static_cast<std::uint64_t>(config_.num_filters), true);
+
+  if (++stream_index_ >= home_->size()) {
+    // Pass complete: all loaded references start retiring.
+    for (auto& ref : filters_) {
+      ref->pass_done = true;
+      retiring_.push_back(std::move(ref));
+    }
+    filters_.clear();
+    pass_active_ = false;
+    stream_index_ = 0;
+  }
+}
+
+void ProcessingElement::retire_references() {
+  // At most one retirement per cycle (the FRN-side arbiter).
+  for (auto it = retiring_.begin(); it != retiring_.end(); ++it) {
+    RefState& r = **it;
+    if (!r.pass_done || r.pending != 0) continue;
+    if (r.ref.is_home) {
+      sink_->accumulate(r.ref.home_index, r.acc, fc_index_);
+    } else if (r.any_pair) {
+      if (!output_.can_push()) return;  // stall, retry next cycle
+      const ring::ForceToken token{r.ref.src_lcid, r.acc, r.ref.slot};
+      if (RetireProbe::hook) RetireProbe::hook(token);
+      output_.push(token);
+    } else {
+      ++zero_force_refs_;
+    }
+    ++refs_processed_;
+    retiring_.erase(it);
+    return;
+  }
+}
+
+void ProcessingElement::reload_filters() {
+  if (home_->empty()) {
+    // An empty home cell still receives broadcasts from its neighbours;
+    // they pair with nothing and are discarded like any zero-force
+    // reference, otherwise the node could never drain (§5.4).
+    while (!input_.empty()) {
+      input_.pop();
+      ++zero_force_refs_;
+      ++refs_processed_;
+    }
+    return;
+  }
+  while (static_cast<int>(filters_.size()) < config_.num_filters &&
+         !input_.empty()) {
+    auto state = std::make_shared<RefState>();
+    state->ref = input_.pop();
+    filters_.push_back(std::move(state));
+  }
+  if (!filters_.empty()) {
+    pass_active_ = true;
+    stream_index_ = 0;
+  }
+}
+
+bool ProcessingElement::quiescent() const {
+  return filters_.empty() && retiring_.empty() && pair_buffer_.empty() &&
+         pipeline_.empty() && input_.total_occupancy() == 0 &&
+         output_.total_occupancy() == 0;
+}
+
+void ProcessingElement::reset_phase() {
+  stream_index_ = 0;
+  pass_active_ = false;
+}
+
+}  // namespace fasda::pe

@@ -1,0 +1,55 @@
+#include "fasda/util/cli.hpp"
+
+#include <cstdlib>
+
+namespace fasda::util {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+      std::string_view body = arg.substr(2);
+      if (auto eq = body.find('='); eq != std::string_view::npos) {
+        flags_.emplace_back(std::string(body.substr(0, eq)),
+                            std::string(body.substr(eq + 1)));
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        flags_.emplace_back(std::string(body), std::string(argv[++i]));
+      } else {
+        flags_.emplace_back(std::string(body), std::string());
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+bool Cli::has(std::string_view name) const {
+  for (const auto& [key, value] : flags_) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> Cli::get(std::string_view name) const {
+  for (const auto& [key, value] : flags_) {
+    if (key == name) return value;
+  }
+  return std::nullopt;
+}
+
+std::string Cli::get_or(std::string_view name, std::string_view fallback) const {
+  auto v = get(name);
+  return v ? *v : std::string(fallback);
+}
+
+long Cli::get_or(std::string_view name, long fallback) const {
+  auto v = get(name);
+  return v && !v->empty() ? std::strtol(v->c_str(), nullptr, 10) : fallback;
+}
+
+double Cli::get_or(std::string_view name, double fallback) const {
+  auto v = get(name);
+  return v && !v->empty() ? std::strtod(v->c_str(), nullptr) : fallback;
+}
+
+}  // namespace fasda::util

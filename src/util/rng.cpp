@@ -1,0 +1,20 @@
+#include "fasda/util/rng.hpp"
+
+#include <cmath>
+
+namespace fasda::util {
+
+double Xoshiro256::normal() noexcept {
+  // Marsaglia polar method; loop terminates with probability 1 and in
+  // practice within a couple of iterations.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace fasda::util

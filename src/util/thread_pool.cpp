@@ -1,0 +1,67 @@
+#include "fasda/util/thread_pool.hpp"
+
+namespace fasda::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  tasks_.resize(workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n, const Body& body) {
+  const std::size_t parts = size();
+  if (parts == 1 || n < 2) {
+    if (n > 0) body(0, 0, n);
+    return;
+  }
+  // Static contiguous chunks: chunk p covers [p*n/parts, (p+1)*n/parts).
+  auto chunk_begin = [&](std::size_t p) { return p * n / parts; };
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t p = 0; p < workers_.size(); ++p) {
+      tasks_[p] = Task{&body, p + 1, chunk_begin(p + 1), chunk_begin(p + 2)};
+    }
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  // The caller runs the first chunk as worker 0.
+  if (chunk_begin(1) > 0) body(0, 0, chunk_begin(1));
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = tasks_[worker_index];
+    }
+    if (task.body && task.end > task.begin) {
+      (*task.body)(task.worker, task.begin, task.end);
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace fasda::util

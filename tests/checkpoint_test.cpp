@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fasda/md/checkpoint.hpp"
+#include "fasda/md/dataset.hpp"
+#include "fasda/md/reference_engine.hpp"
+
+namespace fasda::md {
+namespace {
+
+SystemState make_state() {
+  DatasetParams p;
+  p.particles_per_cell = 16;
+  p.seed = 77;
+  return generate_dataset({3, 3, 3}, 8.5, ForceField::sodium(), p);
+}
+
+TEST(Checkpoint, ExactRoundTrip) {
+  const auto s = make_state();
+  std::stringstream stream;
+  save_checkpoint(stream, s);
+  const auto back = load_checkpoint(stream);
+  EXPECT_EQ(back.cell_dims, s.cell_dims);
+  EXPECT_DOUBLE_EQ(back.cell_size, s.cell_size);
+  ASSERT_EQ(back.size(), s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(back.positions[i], s.positions[i]) << "bit-exact positions";
+    EXPECT_EQ(back.velocities[i], s.velocities[i]) << "bit-exact velocities";
+    EXPECT_EQ(back.elements[i], s.elements[i]);
+  }
+}
+
+TEST(Checkpoint, RestartContinuesTrajectoryExactly) {
+  const auto ff = ForceField::sodium();
+  const auto s = make_state();
+  ReferenceEngine straight(s, ff, 8.5, 2.0, 1);
+  straight.step(20);
+
+  ReferenceEngine first_half(s, ff, 8.5, 2.0, 1);
+  first_half.step(10);
+  std::stringstream stream;
+  save_checkpoint(stream, first_half.state());
+  ReferenceEngine second_half(load_checkpoint(stream), ff, 8.5, 2.0, 1);
+  second_half.step(10);
+
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(straight.state().positions[i], second_half.state().positions[i]);
+    EXPECT_EQ(straight.state().velocities[i], second_half.state().velocities[i]);
+  }
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const auto s = make_state();
+  const std::string path = "/tmp/fasda_checkpoint_test.bin";
+  save_checkpoint(path, s);
+  const auto back = load_checkpoint(path);
+  EXPECT_EQ(back.size(), s.size());
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+  std::stringstream garbage("not a checkpoint at all");
+  EXPECT_THROW(load_checkpoint(garbage), std::runtime_error);
+  EXPECT_THROW(load_checkpoint(std::string("/nonexistent/path")),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsTruncation) {
+  const auto s = make_state();
+  std::stringstream stream;
+  save_checkpoint(stream, s);
+  const std::string full = stream.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_checkpoint(cut), std::runtime_error);
+}
+
+TEST(Checkpoint, EmptySystem) {
+  SystemState s;
+  s.cell_dims = {3, 3, 3};
+  s.cell_size = 8.5;
+  std::stringstream stream;
+  save_checkpoint(stream, s);
+  const auto back = load_checkpoint(stream);
+  EXPECT_EQ(back.size(), 0u);
+  EXPECT_EQ(back.cell_dims, s.cell_dims);
+}
+
+}  // namespace
+}  // namespace fasda::md

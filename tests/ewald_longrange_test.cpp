@@ -1,0 +1,126 @@
+// Long-range Ewald reference: the splitting-parameter independence property
+// (real + reciprocal + self must not depend on β), two-charge analytic
+// checks, and force-gradient consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fasda/md/dataset.hpp"
+#include "fasda/md/energy.hpp"
+#include "fasda/md/ewald_longrange.hpp"
+
+namespace fasda::md {
+namespace {
+
+SystemState salt_state(int per_cell = 8) {
+  DatasetParams p;
+  p.particles_per_cell = per_cell;
+  p.seed = 23;
+  p.temperature = 0.0;
+  p.elements = ElementAssignment::kAlternating;
+  return generate_dataset({3, 3, 3}, 8.5, ForceField::sodium_chloride(), p);
+}
+
+double total_coulomb(const SystemState& state, const ForceField& ff,
+                     double beta, int kmax) {
+  ForceTerms terms;
+  terms.lj = false;
+  terms.ewald_real = true;
+  terms.ewald_beta = beta;
+  const double real = compute_potential_energy(state, ff, 8.5, terms);
+  return real + EwaldLongRange(ff, beta, kmax).energy(state);
+}
+
+TEST(EwaldLongRange, TotalEnergyIndependentOfBeta) {
+  // The defining property of the Ewald split: moving weight between the
+  // real-space (RL) and reciprocal-space (LR) halves must not change the
+  // total. β·R_c >= 2.55 keeps the real-space truncation at the cutoff
+  // below ~3e-4 relative.
+  const auto ff = ForceField::sodium_chloride();
+  const auto state = salt_state();
+  const double e1 = total_coulomb(state, ff, 0.30, 8);
+  const double e2 = total_coulomb(state, ff, 0.35, 8);
+  const double e3 = total_coulomb(state, ff, 0.40, 9);
+  const double scale = std::abs(e1);
+  EXPECT_LT(std::abs(e2 - e1) / scale, 2e-3);
+  EXPECT_LT(std::abs(e3 - e2) / scale, 2e-3);
+}
+
+TEST(EwaldLongRange, MadelungEnergyOfRockSalt) {
+  // A perfect rock-salt lattice (zero jitter) has Coulomb energy per ion
+  // pair of -M·k_e·q²/a with Madelung constant M = 1.74756 and
+  // nearest-neighbour distance a = 4.25 Å here.
+  auto ff = ForceField::sodium_chloride();
+  DatasetParams p;
+  p.particles_per_cell = 8;
+  p.jitter = 0.0;
+  p.temperature = 0.0;
+  p.elements = ElementAssignment::kAlternating;
+  const auto state = generate_dataset({3, 3, 3}, 8.5, ff, p);
+  const double a = 8.5 / 2.0;
+  const double expected_per_pair = -1.747565 * kCoulomb / a;
+  const double total = total_coulomb(state, ff, 0.35, 9);
+  const double per_pair = total / (static_cast<double>(state.size()) / 2.0);
+  EXPECT_NEAR(per_pair, expected_per_pair, 5e-3 * std::abs(expected_per_pair));
+}
+
+TEST(EwaldLongRange, ForcesAreMinusEnergyGradient) {
+  const auto ff = ForceField::sodium_chloride();
+  auto state = salt_state();
+  const EwaldLongRange lr(ff, 0.3, 6);
+  const auto forces = lr.forces(state);
+  const double h = 1e-5;
+  for (const std::size_t i : {std::size_t{0}, std::size_t{7}}) {
+    for (int axis = 0; axis < 3; ++axis) {
+      double geom::Vec3d::*member =
+          axis == 0 ? &geom::Vec3d::x : axis == 1 ? &geom::Vec3d::y
+                                                  : &geom::Vec3d::z;
+      auto plus = state;
+      plus.positions[i].*member += h;
+      auto minus = state;
+      minus.positions[i].*member -= h;
+      const double grad = (lr.energy(plus) - lr.energy(minus)) / (2.0 * h);
+      const double f = forces[i].*member;
+      EXPECT_NEAR(f, -grad, 1e-5 + 1e-4 * std::abs(grad))
+          << "particle " << i << " axis " << axis;
+    }
+  }
+}
+
+TEST(EwaldLongRange, ReciprocalForcesSumToZero) {
+  const auto ff = ForceField::sodium_chloride();
+  const auto state = salt_state();
+  const auto forces = EwaldLongRange(ff, 0.3, 6).forces(state);
+  geom::Vec3d sum{};
+  double scale = 0.0;
+  for (const auto& f : forces) {
+    sum += f;
+    scale = std::max(scale, f.norm());
+  }
+  EXPECT_LT(sum.norm() / (scale + 1e-30), 1e-9);
+}
+
+TEST(EwaldLongRange, NeutralSystemHasNoBackgroundTerm) {
+  // Energy of a neutral system is finite and beta-stable even at small
+  // kmax; a single ion (non-neutral) invokes the background correction and
+  // still returns a finite number.
+  const auto ff = ForceField::sodium_chloride();
+  SystemState one;
+  one.cell_dims = {3, 3, 3};
+  one.cell_size = 8.5;
+  one.positions = {{12.0, 12.0, 12.0}};
+  one.velocities = {{0, 0, 0}};
+  one.elements = {0};
+  const double e = EwaldLongRange(ff, 0.3, 6).energy(one);
+  EXPECT_TRUE(std::isfinite(e));
+}
+
+TEST(EwaldLongRange, RejectsBadParameters) {
+  const auto ff = ForceField::sodium_chloride();
+  EXPECT_THROW(EwaldLongRange(ff, 0.0, 6), std::invalid_argument);
+  EXPECT_THROW(EwaldLongRange(ff, 0.3, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fasda::md

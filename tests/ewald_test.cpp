@@ -1,0 +1,204 @@
+// The Ewald real-space (PME short-range) electrostatic term across every
+// layer: analytic force field, interpolation tables, functional engine, and
+// the cycle-level machine — §2.1's "nearly identical" second RL pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fasda/core/simulation.hpp"
+#include "fasda/interp/ewald.hpp"
+#include "fasda/md/dataset.hpp"
+#include "fasda/md/energy.hpp"
+#include "fasda/md/functional_engine.hpp"
+#include "fasda/md/reference_engine.hpp"
+
+namespace fasda {
+namespace {
+
+md::ForceTerms full_terms() {
+  md::ForceTerms t;
+  t.lj = true;
+  t.ewald_real = true;
+  t.ewald_beta = 0.3;
+  return t;
+}
+
+md::SystemState salt_state(geom::IVec3 dims = {3, 3, 3}, int per_cell = 16) {
+  md::DatasetParams p;
+  p.particles_per_cell = per_cell;
+  p.seed = 17;
+  p.temperature = 150.0;
+  p.elements = md::ElementAssignment::kAlternating;
+  return md::generate_dataset(dims, 8.5, md::ForceField::sodium_chloride(), p);
+}
+
+TEST(Ewald, ChargesAreNeutralWithAlternatingAssignment) {
+  const auto ff = md::ForceField::sodium_chloride();
+  const auto s = salt_state();
+  double q = 0.0;
+  for (const auto e : s.elements) q += ff.element(e).charge;
+  EXPECT_NEAR(q, 0.0, 1e-12);
+}
+
+TEST(Ewald, ForceIsMinusEnergyGradient) {
+  const auto ff = md::ForceField::sodium_chloride();
+  const double beta = 0.3;
+  for (const double r : {2.5, 3.5, 5.0, 7.0}) {
+    const double h = 1e-6;
+    const double dvdr = (ff.ewald_real_energy((r + h) * (r + h), 0, 1, beta) -
+                         ff.ewald_real_energy((r - h) * (r - h), 0, 1, beta)) /
+                        (2.0 * h);
+    const auto f = ff.ewald_real_force({r, 0, 0}, 0, 1, beta);
+    EXPECT_NEAR(f.x, -dvdr, 1e-5 * std::abs(dvdr)) << "r=" << r;
+  }
+}
+
+TEST(Ewald, OppositeChargesAttract) {
+  const auto ff = md::ForceField::sodium_chloride();
+  const auto f = ff.ewald_real_force({3.0, 0, 0}, 0, 1, 0.3);
+  EXPECT_LT(f.x, 0.0) << "Na+ pulled toward Cl-";
+  const auto same = ff.ewald_real_force({3.0, 0, 0}, 0, 0, 0.3);
+  EXPECT_GT(same.x, 0.0) << "Na+ repels Na+";
+}
+
+TEST(Ewald, TablesMatchAnalytic) {
+  const double beta_rc = 0.3 * 8.5;
+  const auto force_table =
+      interp::build_ewald_force_table(beta_rc, interp::InterpConfig{});
+  const auto energy_table =
+      interp::build_ewald_energy_table(beta_rc, interp::InterpConfig{});
+  for (const double u : {0.25, 0.4, 0.6, 0.8, 0.95}) {
+    const double u2 = u * u;
+    const double bu = beta_rc * u;
+    const double exact_f =
+        (std::erfc(bu) + 1.1283791670955126 * bu * std::exp(-bu * bu)) /
+        (u2 * u);
+    const double exact_e = std::erfc(bu) / u;
+    EXPECT_NEAR(force_table.eval(static_cast<float>(u2)), exact_f,
+                2e-4 * exact_f);
+    EXPECT_NEAR(energy_table.eval(static_cast<float>(u2)), exact_e,
+                2e-4 * exact_e + 1e-9);
+  }
+}
+
+TEST(Ewald, PairForceTableConventionMatchesAnalytic) {
+  // (k_e q_a q_b / R_c²)·T_f(u²)·u_vec must equal the analytic force.
+  const auto ff = md::ForceField::sodium_chloride();
+  const double rc = 8.5;
+  const auto table = interp::build_ewald_force_table(0.3 * rc,
+                                                     interp::InterpConfig{});
+  const auto coeffs = ff.ewald_force_coeff_table(rc);
+  for (const double r : {2.5, 4.0, 6.5}) {
+    const double u = r / rc;
+    const double via =
+        coeffs[0 * 2 + 1] * table.eval(static_cast<float>(u * u)) * u;
+    const auto exact = ff.ewald_real_force({r, 0, 0}, 0, 1, 0.3);
+    EXPECT_NEAR(via, exact.x, 2e-4 * std::abs(exact.x)) << "r=" << r;
+  }
+}
+
+TEST(Ewald, FunctionalEngineMatchesAnalyticForces) {
+  const auto ff = md::ForceField::sodium_chloride();
+  const auto s = salt_state();
+  md::FunctionalConfig config;
+  config.cutoff = 8.5;
+  config.dt = 2.0;
+  config.terms = full_terms();
+  md::FunctionalEngine engine(s, ff, config);
+  engine.evaluate_forces();
+  const auto got = engine.forces_by_particle();
+  const auto want = md::compute_forces(engine.state(), ff, 8.5, full_terms());
+  double worst = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    worst = std::max(worst, (got[i].cast<double>() - want[i]).norm());
+    scale = std::max(scale, want[i].norm());
+  }
+  EXPECT_LT(worst / scale, 2e-3);
+}
+
+TEST(Ewald, ReferenceEngineConservesEnergyWithElectrostatics) {
+  const auto ff = md::ForceField::sodium_chloride();
+  const auto s = salt_state();
+  md::ReferenceEngine engine(s, ff, 8.5, 2.0, 2, full_terms());
+  const double e0 = engine.total_energy();
+  const double scale = std::abs(e0) + engine.kinetic();
+  engine.step(300);
+  EXPECT_LT(std::abs(engine.total_energy() - e0) / scale, 1e-2);
+}
+
+TEST(Ewald, FunctionalTracksReferenceWithElectrostatics) {
+  const auto ff = md::ForceField::sodium_chloride();
+  const auto s = salt_state();
+  md::FunctionalConfig config;
+  config.cutoff = 8.5;
+  config.dt = 2.0;
+  config.terms = full_terms();
+  config.threads = 2;
+  md::FunctionalEngine fasda_engine(s, ff, config);
+  md::ReferenceEngine reference(s, ff, 8.5, 2.0, 2, full_terms());
+  fasda_engine.step(50);
+  reference.step(50);
+  const auto got = fasda_engine.state();
+  const auto grid = s.grid();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    worst = std::max(
+        worst,
+        grid.min_image(got.positions[i], reference.state().positions[i]).norm());
+  }
+  EXPECT_LT(worst, 5e-3);
+}
+
+TEST(Ewald, CycleSimulationMatchesFunctionalEngine) {
+  const auto ff = md::ForceField::sodium_chloride();
+  const auto s = salt_state();
+  core::ClusterConfig cluster;
+  cluster.terms = full_terms();
+  core::Simulation sim(s, ff, cluster);
+  sim.run(1);
+  md::FunctionalConfig config;
+  config.cutoff = 8.5;
+  config.dt = 2.0;
+  config.terms = full_terms();
+  md::FunctionalEngine golden(s, ff, config);
+  golden.evaluate_forces();
+  const auto got = sim.forces_by_particle();
+  const auto want = golden.forces_by_particle();
+  double worst = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    worst = std::max(worst,
+                     (got[i].cast<double>() - want[i].cast<double>()).norm());
+    scale = std::max(scale, want[i].cast<double>().norm());
+  }
+  EXPECT_LT(worst / scale, 1e-5);
+}
+
+TEST(Ewald, InterpEnergyMatchesAnalyticEnergy) {
+  const auto ff = md::ForceField::sodium_chloride();
+  const auto s = salt_state();
+  md::FunctionalConfig config;
+  config.cutoff = 8.5;
+  config.dt = 2.0;
+  config.terms = full_terms();
+  md::FunctionalEngine engine(s, ff, config);
+  const double via_tables = engine.interp_potential_energy();
+  const double exact = engine.potential_energy();
+  EXPECT_LT(std::abs(via_tables - exact) / std::abs(exact), 2e-3);
+}
+
+TEST(Ewald, DisabledTermContributesNothing) {
+  // LJ-only on a charged force field ignores the charges entirely.
+  const auto ff = md::ForceField::sodium_chloride();
+  const auto s = salt_state();
+  const auto lj_only = md::compute_forces(s, ff, 8.5, md::ForceTerms{});
+  md::ForceTerms no_charge = full_terms();
+  no_charge.ewald_real = false;
+  const auto same = md::compute_forces(s, ff, 8.5, no_charge);
+  for (std::size_t i = 0; i < lj_only.size(); ++i) {
+    EXPECT_EQ(lj_only[i], same[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fasda

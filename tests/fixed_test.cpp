@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fasda/fixed/fixed_point.hpp"
+#include "fasda/util/rng.hpp"
+
+namespace fasda::fixed {
+namespace {
+
+TEST(FixedCoord, EncodesRcidAndFraction) {
+  const auto c = FixedCoord::from_cell_offset(2, 0.25);
+  EXPECT_EQ(c.rcid(), 2);
+  EXPECT_DOUBLE_EQ(c.frac(), 0.25);
+  EXPECT_DOUBLE_EQ(c.to_double(), 2.25);
+}
+
+TEST(FixedCoord, QuantizationErrorBounded) {
+  util::Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double f = rng.uniform();
+    const auto c = FixedCoord::from_cell_offset(1, f);
+    EXPECT_EQ(c.rcid(), 1);
+    EXPECT_NEAR(c.frac(), f, FixedCoord::kResolution);
+  }
+}
+
+TEST(FixedCoord, TopEdgeRoundingStaysInCell) {
+  const auto c = FixedCoord::from_cell_offset(3, 0.999999999999);
+  EXPECT_EQ(c.rcid(), 3);
+  EXPECT_LT(c.frac(), 1.0);
+}
+
+TEST(FixedCoord, SubtractionIsExact) {
+  const auto a = FixedCoord::from_real(2.75);
+  const auto b = FixedCoord::from_real(1.25);
+  EXPECT_EQ(a.sub(b), static_cast<std::int64_t>(1.5 * FixedCoord::kOne));
+  EXPECT_EQ(b.sub(a), -static_cast<std::int64_t>(1.5 * FixedCoord::kOne));
+}
+
+TEST(FixedCoord, RoundTripThroughDouble) {
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(1.0, 4.0 - 1e-9);
+    const auto c = FixedCoord::from_real(v);
+    EXPECT_NEAR(c.to_double(), v, FixedCoord::kResolution);
+    EXPECT_EQ(FixedCoord::from_real(c.to_double()), c);
+  }
+}
+
+TEST(R2Fixed, MatchesDoubleArithmetic) {
+  util::Xoshiro256 rng(77);
+  for (int i = 0; i < 10000; ++i) {
+    const FixedVec3 a{FixedCoord::from_real(rng.uniform(1.0, 4.0)),
+                      FixedCoord::from_real(rng.uniform(1.0, 4.0)),
+                      FixedCoord::from_real(rng.uniform(1.0, 4.0))};
+    const FixedVec3 b{FixedCoord::from_real(rng.uniform(1.0, 4.0)),
+                      FixedCoord::from_real(rng.uniform(1.0, 4.0)),
+                      FixedCoord::from_real(rng.uniform(1.0, 4.0))};
+    const double exact = (a.to_vec3d() - b.to_vec3d()).norm2();
+    const double viaFixed =
+        std::ldexp(static_cast<double>(r2_fixed(a, b)),
+                   -2 * FixedCoord::kFracBits);
+    EXPECT_NEAR(viaFixed, exact, 1e-12) << "fixed r² must be exact";
+  }
+}
+
+TEST(R2Fixed, SymmetricUnderOperandSwap) {
+  util::Xoshiro256 rng(88);
+  for (int i = 0; i < 1000; ++i) {
+    const FixedVec3 a{FixedCoord::from_real(rng.uniform(1.0, 4.0)),
+                      FixedCoord::from_real(rng.uniform(1.0, 4.0)),
+                      FixedCoord::from_real(rng.uniform(1.0, 4.0))};
+    const FixedVec3 b{FixedCoord::from_real(rng.uniform(1.0, 4.0)),
+                      FixedCoord::from_real(rng.uniform(1.0, 4.0)),
+                      FixedCoord::from_real(rng.uniform(1.0, 4.0))};
+    EXPECT_EQ(r2_fixed(a, b), r2_fixed(b, a));
+  }
+}
+
+TEST(R2Fixed, NoOverflowAtMaximumSeparation) {
+  // Worst case: components 0 vs just under 4 on all axes.
+  const FixedVec3 a{FixedCoord::from_raw(0), FixedCoord::from_raw(0),
+                    FixedCoord::from_raw(0)};
+  const std::uint32_t top = 4u * FixedCoord::kOne - 1u;
+  const FixedVec3 b{FixedCoord::from_raw(top), FixedCoord::from_raw(top),
+                    FixedCoord::from_raw(top)};
+  const double exact = 3.0 * 4.0 * 4.0;
+  const double viaFixed = std::ldexp(static_cast<double>(r2_fixed(a, b)),
+                                     -2 * FixedCoord::kFracBits);
+  EXPECT_NEAR(viaFixed, exact, 1e-6);
+}
+
+TEST(R2Fixed, CutoffThresholdIsOneCellEdge) {
+  const FixedVec3 origin{FixedCoord::from_real(2.0), FixedCoord::from_real(2.0),
+                         FixedCoord::from_real(2.0)};
+  const FixedVec3 inside{FixedCoord::from_real(2.9999), FixedCoord::from_real(2.0),
+                         FixedCoord::from_real(2.0)};
+  const FixedVec3 at{FixedCoord::from_real(3.0), FixedCoord::from_real(2.0),
+                     FixedCoord::from_real(2.0)};
+  EXPECT_LT(r2_fixed(origin, inside), kR2One);
+  EXPECT_GE(r2_fixed(origin, at), kR2One);
+}
+
+TEST(DisplacementToFloat, MatchesDoubleWithinFloatPrecision) {
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const FixedVec3 a{FixedCoord::from_real(rng.uniform(1.0, 4.0)),
+                      FixedCoord::from_real(rng.uniform(1.0, 4.0)),
+                      FixedCoord::from_real(rng.uniform(1.0, 4.0))};
+    const FixedVec3 b{FixedCoord::from_real(rng.uniform(1.0, 4.0)),
+                      FixedCoord::from_real(rng.uniform(1.0, 4.0)),
+                      FixedCoord::from_real(rng.uniform(1.0, 4.0))};
+    const auto u = displacement_to_float(a, b);
+    const auto exact = a.to_vec3d() - b.to_vec3d();
+    EXPECT_NEAR(u.x, exact.x, 1e-6);
+    EXPECT_NEAR(u.y, exact.y, 1e-6);
+    EXPECT_NEAR(u.z, exact.z, 1e-6);
+  }
+}
+
+TEST(R2ToFloat, ConvertsExactPowers) {
+  EXPECT_FLOAT_EQ(r2_to_float(kR2One), 1.0f);
+  EXPECT_FLOAT_EQ(r2_to_float(kR2One >> 4), 1.0f / 16.0f);
+}
+
+}  // namespace
+}  // namespace fasda::fixed

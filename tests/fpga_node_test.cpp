@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fasda/core/simulation.hpp"
+#include "fasda/md/dataset.hpp"
+#include "fasda/md/functional_engine.hpp"
+
+namespace fasda::core {
+namespace {
+
+md::SystemState make_state(geom::IVec3 dims, int per_cell = 12,
+                           std::uint64_t seed = 21, double temperature = 300.0) {
+  md::DatasetParams p;
+  p.particles_per_cell = per_cell;
+  p.seed = seed;
+  p.temperature = temperature;
+  return md::generate_dataset(dims, 8.5, md::ForceField::sodium(), p);
+}
+
+TEST(FpgaNode, BulkSyncProducesSamePhysicsAsChained) {
+  const auto state = make_state({4, 4, 4});
+  const auto ff = md::ForceField::sodium();
+  ClusterConfig chained;
+  chained.node_dims = {2, 2, 2};
+  chained.cells_per_node = {2, 2, 2};
+  chained.channel.link_latency = 30;
+  ClusterConfig bulk = chained;
+  bulk.sync_mode = sync::SyncMode::kBulk;
+  bulk.bulk_barrier_latency = 500;
+
+  Simulation a(state, ff, chained);
+  Simulation b(state, ff, bulk);
+  a.run(3);
+  b.run(3);
+  const auto sa = a.state();
+  const auto sb = b.state();
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa.positions[i], sb.positions[i]) << "particle " << i;
+  }
+  // …but bulk pays the barrier twice per iteration (release-check alignment
+  // shaves a couple of cycles per barrier).
+  EXPECT_GT(b.last_run_cycles(), a.last_run_cycles() + 2 * 3 * 500 - 30);
+}
+
+TEST(FpgaNode, StragglerSlowsClusterButKeepsPhysics) {
+  const auto state = make_state({4, 4, 4});
+  const auto ff = md::ForceField::sodium();
+  ClusterConfig base;
+  base.node_dims = {2, 2, 2};
+  base.cells_per_node = {2, 2, 2};
+  base.channel.link_latency = 30;
+  ClusterConfig slow = base;
+  slow.stragglers.push_back({3, 2});
+
+  Simulation fast(state, ff, base);
+  Simulation lame(state, ff, slow);
+  fast.run(2);
+  lame.run(2);
+  EXPECT_GT(lame.last_run_cycles(), fast.last_run_cycles() * 3 / 2);
+  const auto sa = fast.state();
+  const auto sb = lame.state();
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa.positions[i], sb.positions[i]);
+  }
+}
+
+TEST(FpgaNode, ChainedSyncGivesHeadStartOverBulk) {
+  // 4-node chain with node 0 slowed. Under chained sync the nodes start
+  // their force phases at different times (each as soon as its own
+  // neighbours allow); under bulk sync every start is pinned to the global
+  // barrier, so the node distant from the straggler begins strictly later.
+  const auto state = make_state({12, 3, 3});
+  ClusterConfig chained;
+  chained.node_dims = {4, 1, 1};
+  chained.cells_per_node = {3, 3, 3};
+  chained.channel.link_latency = 30;
+  chained.stragglers.push_back({0, 3});
+  ClusterConfig bulk = chained;
+  bulk.sync_mode = sync::SyncMode::kBulk;
+  bulk.bulk_barrier_latency = 400;
+
+  Simulation a(state, md::ForceField::sodium(), chained);
+  Simulation b(state, md::ForceField::sodium(), bulk);
+  a.run(3);
+  b.run(3);
+  // Distant node (2) starts its final iteration earlier under chained sync.
+  EXPECT_LT(a.force_phase_starts(2).back(), b.force_phase_starts(2).back());
+  // And chained starts are spread out while bulk starts coincide.
+  sim::Cycle a_min = ~0ull, a_max = 0, b_min = ~0ull, b_max = 0;
+  for (int n = 0; n < 4; ++n) {
+    a_min = std::min(a_min, a.force_phase_starts(n).back());
+    a_max = std::max(a_max, a.force_phase_starts(n).back());
+    b_min = std::min(b_min, b.force_phase_starts(n).back());
+    b_max = std::max(b_max, b.force_phase_starts(n).back());
+  }
+  EXPECT_GT(a_max - a_min, 0u);
+  EXPECT_EQ(b_max - b_min, 0u);
+}
+
+TEST(FpgaNode, CrossNodeMigrationPreservesParticles) {
+  // Hot particles near block boundaries migrate between FPGAs during MU;
+  // nothing may be lost or duplicated.
+  const auto state = make_state({4, 4, 4}, 12, 5, 600.0);
+  ClusterConfig config;
+  config.node_dims = {2, 2, 2};
+  config.cells_per_node = {2, 2, 2};
+  config.channel.link_latency = 30;
+  Simulation sim(state, md::ForceField::sodium(), config);
+  sim.run(40);
+  const auto out = sim.state();
+  ASSERT_EQ(out.size(), state.size());
+  std::vector<bool> seen(state.size(), false);
+  const auto box = out.grid().box();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GE(out.positions[i].x, 0.0);
+    EXPECT_LT(out.positions[i].x, box.x);
+    seen[i] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(FpgaNode, MigratedTrajectoryMatchesFunctionalEngine) {
+  const auto state = make_state({4, 4, 4}, 12, 5, 600.0);
+  const auto ff = md::ForceField::sodium();
+  ClusterConfig config;
+  config.node_dims = {2, 2, 2};
+  config.cells_per_node = {2, 2, 2};
+  config.channel.link_latency = 30;
+  Simulation sim(state, ff, config);
+  md::FunctionalConfig fc;
+  fc.cutoff = 8.5;
+  fc.dt = 2.0;
+  md::FunctionalEngine golden(state, ff, fc);
+  sim.run(30);
+  golden.step(30);
+  const auto got = sim.state();
+  const auto want = golden.state();
+  const auto grid = state.grid();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    worst = std::max(worst,
+                     grid.min_image(got.positions[i], want.positions[i]).norm());
+  }
+  EXPECT_LT(worst, 2e-3);  // Å after 30 hot steps including migrations
+}
+
+TEST(FpgaNode, RepeatedRunsContinueTrajectory) {
+  const auto state = make_state({3, 3, 3});
+  const auto ff = md::ForceField::sodium();
+  ClusterConfig config;
+  Simulation once(state, ff, config);
+  Simulation twice(state, ff, config);
+  once.run(6);
+  twice.run(3);
+  twice.run(3);
+  const auto a = once.state();
+  const auto b = twice.state();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.positions[i], b.positions[i]);
+    EXPECT_EQ(a.velocities[i], b.velocities[i]);
+  }
+}
+
+TEST(FpgaNode, TwoNodeClusterMatchesGolden) {
+  // Non-cubic cluster: 2 nodes along x only.
+  const auto state = make_state({6, 3, 3});
+  const auto ff = md::ForceField::sodium();
+  ClusterConfig config;
+  config.node_dims = {2, 1, 1};
+  config.cells_per_node = {3, 3, 3};
+  config.channel.link_latency = 30;
+  Simulation sim(state, ff, config);
+  sim.run(1);
+  md::FunctionalConfig fc;
+  fc.cutoff = 8.5;
+  fc.dt = 2.0;
+  md::FunctionalEngine golden(state, ff, fc);
+  golden.evaluate_forces();
+  const auto got = sim.forces_by_particle();
+  const auto want = golden.forces_by_particle();
+  double worst = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    worst = std::max(worst,
+                     (got[i].cast<double>() - want[i].cast<double>()).norm());
+    scale = std::max(scale, want[i].cast<double>().norm());
+  }
+  EXPECT_LT(worst / scale, 1e-5);
+}
+
+class SpeVariants : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SpeVariants, AllVariantsMatchGoldenForces) {
+  const auto [pes, spes] = GetParam();
+  const auto state = make_state({4, 4, 4});
+  const auto ff = md::ForceField::sodium();
+  ClusterConfig config;
+  config.node_dims = {2, 2, 2};
+  config.cells_per_node = {2, 2, 2};
+  config.pes_per_spe = pes;
+  config.spes = spes;
+  config.channel.link_latency = 30;
+  Simulation sim(state, ff, config);
+  sim.run(1);
+  md::FunctionalConfig fc;
+  fc.cutoff = 8.5;
+  fc.dt = 2.0;
+  md::FunctionalEngine golden(state, ff, fc);
+  golden.evaluate_forces();
+  const auto got = sim.forces_by_particle();
+  const auto want = golden.forces_by_particle();
+  double worst = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    worst = std::max(worst,
+                     (got[i].cast<double>() - want[i].cast<double>()).norm());
+    scale = std::max(scale, want[i].cast<double>().norm());
+  }
+  EXPECT_LT(worst / scale, 1e-5) << pes << " PEs, " << spes << " SPEs";
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperVariants, SpeVariants,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 1},
+                                           std::pair{3, 1}, std::pair{1, 2},
+                                           std::pair{3, 2}));
+
+}  // namespace
+}  // namespace fasda::core

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fasda/geom/cell_grid.hpp"
+
+namespace fasda::geom {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3d a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3d{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3d{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3d{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+  EXPECT_DOUBLE_EQ((Vec3d{3, 4, 0}).norm(), 5.0);
+}
+
+TEST(HalfShell, ThirteenForwardThirteenBackward) {
+  const auto half = half_shell_offsets();
+  const auto full = full_shell_offsets();
+  EXPECT_EQ(half.size(), 13u);
+  EXPECT_EQ(full.size(), 26u);
+  for (const auto& d : half) EXPECT_TRUE(is_forward_offset(d));
+  for (std::size_t i = 13; i < 26; ++i) EXPECT_FALSE(is_forward_offset(full[i]));
+}
+
+TEST(HalfShell, ForwardAndBackwardAreNegations) {
+  // For every forward offset, its negation must be a backward offset: this
+  // is exactly the Newton's-third-law pairing property.
+  const auto full = full_shell_offsets();
+  for (std::size_t i = 0; i < 13; ++i) {
+    const IVec3 neg{-full[i].x, -full[i].y, -full[i].z};
+    bool found = false;
+    for (std::size_t j = 13; j < 26; ++j) found |= full[j] == neg;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(CellGrid, Eq7IndexingRoundTrips) {
+  const CellGrid grid({4, 5, 3}, 1.0);
+  std::set<CellId> seen;
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 5; ++y) {
+      for (int z = 0; z < 3; ++z) {
+        const CellId id = grid.cid({x, y, z});
+        EXPECT_EQ(grid.coords(id), (IVec3{x, y, z}));
+        seen.insert(id);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 60u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 59);
+  // Spot-check the formula CID = Dy*Dz*x + Dz*y + z.
+  EXPECT_EQ(grid.cid({2, 3, 1}), 5 * 3 * 2 + 3 * 3 + 1);
+}
+
+TEST(CellGrid, RejectsDegenerateConfigs) {
+  EXPECT_THROW(CellGrid({2, 3, 3}, 1.0), std::invalid_argument);
+  EXPECT_THROW(CellGrid({3, 3, 3}, 0.0), std::invalid_argument);
+  EXPECT_THROW(CellGrid({3, 3, 3}, -1.0), std::invalid_argument);
+}
+
+TEST(CellGrid, WrapIsPeriodic) {
+  const CellGrid grid({3, 4, 5}, 2.0);
+  EXPECT_EQ(grid.wrap({-1, 4, 5}), (IVec3{2, 0, 0}));
+  EXPECT_EQ(grid.wrap({3, -1, -5}), (IVec3{0, 3, 0}));
+  EXPECT_EQ(grid.wrap({1, 2, 3}), (IVec3{1, 2, 3}));
+}
+
+TEST(CellGrid, WrapPositionStaysInBox) {
+  const CellGrid grid({3, 3, 3}, 8.5);
+  const Vec3d p = grid.wrap_position({-1.0, 26.0, 25.5 + 25.5});
+  EXPECT_NEAR(p.x, 24.5, 1e-12);
+  EXPECT_NEAR(p.y, 0.5, 1e-12);
+  EXPECT_NEAR(p.z, 0.0, 1e-12);
+}
+
+TEST(CellGrid, CellOfMapsBoundariesSafely) {
+  const CellGrid grid({3, 3, 3}, 1.0);
+  EXPECT_EQ(grid.cell_of({0.0, 0.0, 0.0}), (IVec3{0, 0, 0}));
+  EXPECT_EQ(grid.cell_of({2.999999, 0.5, 1.5}), (IVec3{2, 0, 1}));
+  // Exactly at the box edge wraps to cell 0.
+  EXPECT_EQ(grid.cell_of({3.0, 3.0, 3.0}), (IVec3{0, 0, 0}));
+}
+
+TEST(CellGrid, CellDisplacementMinImage) {
+  const CellGrid grid({4, 4, 4}, 1.0);
+  EXPECT_EQ(grid.cell_displacement({0, 0, 0}, {1, 0, 0}), (IVec3{1, 0, 0}));
+  EXPECT_EQ(grid.cell_displacement({0, 0, 0}, {3, 0, 0}), (IVec3{-1, 0, 0}));
+  // Distance 2 in a 4-wide grid: ties map to +2 (not a neighbour either way).
+  EXPECT_EQ(grid.cell_displacement({0, 0, 0}, {2, 0, 0}).x, 2);
+}
+
+TEST(CellGrid, MinImageVector) {
+  const CellGrid grid({3, 3, 3}, 10.0);
+  const Vec3d d = grid.min_image({1.0, 1.0, 1.0}, {29.0, 1.0, 1.0});
+  EXPECT_NEAR(d.x, -2.0, 1e-12);
+  EXPECT_NEAR(d.y, 0.0, 1e-12);
+}
+
+TEST(CellGrid, ForwardNeighborCountsArePartitioned) {
+  // Every cell must have exactly 13 forward and 13 backward neighbours, and
+  // `b forward-of a` must imply `a not forward-of b`.
+  const CellGrid grid({3, 4, 5}, 1.0);
+  for (int id = 0; id < grid.num_cells(); ++id) {
+    const IVec3 a = grid.coords(id);
+    int forward = 0;
+    for (const IVec3& d : full_shell_offsets()) {
+      const IVec3 b = grid.wrap(a + d);
+      const bool fwd = grid.is_forward_neighbor(a, b);
+      const bool bwd = grid.is_forward_neighbor(b, a);
+      EXPECT_NE(fwd, bwd) << "pair must be ordered exactly one way";
+      forward += fwd;
+    }
+    EXPECT_EQ(forward, 13);
+  }
+}
+
+TEST(CellGrid, SelfIsNeverNeighbor) {
+  const CellGrid grid({3, 3, 3}, 1.0);
+  for (int id = 0; id < grid.num_cells(); ++id) {
+    const IVec3 c = grid.coords(id);
+    EXPECT_FALSE(grid.is_forward_neighbor(c, c));
+  }
+}
+
+}  // namespace
+}  // namespace fasda::geom

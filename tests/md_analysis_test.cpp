@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "fasda/md/analysis.hpp"
+#include "fasda/md/dataset.hpp"
+#include "fasda/md/energy.hpp"
+#include "fasda/md/reference_engine.hpp"
+#include "fasda/md/xyz_io.hpp"
+
+namespace fasda::md {
+namespace {
+
+SystemState make_state(double temperature = 300.0, int per_cell = 27) {
+  DatasetParams p;
+  p.particles_per_cell = per_cell;
+  p.seed = 4;
+  p.temperature = temperature;
+  return generate_dataset({3, 3, 3}, 8.5, ForceField::sodium(), p);
+}
+
+TEST(Analysis, TemperatureMatchesGeneration) {
+  const auto ff = ForceField::sodium();
+  const auto s = make_state(250.0);
+  EXPECT_NEAR(temperature(s, ff), 250.0, 15.0);
+}
+
+TEST(Analysis, RescaleHitsTargetExactly) {
+  const auto ff = ForceField::sodium();
+  auto s = make_state(250.0);
+  rescale_to_temperature(s, ff, 100.0);
+  EXPECT_NEAR(temperature(s, ff), 100.0, 1e-9);
+  rescale_to_temperature(s, ff, 400.0);
+  EXPECT_NEAR(temperature(s, ff), 400.0, 1e-9);
+}
+
+TEST(Analysis, RdfIntegratesToPairCount) {
+  const auto s = make_state();
+  const auto rdf = radial_distribution(s, 8.5, 64);
+  // Σ counts = 2 × (unordered pairs within r_max): every ordered pair lands
+  // in exactly one bin.
+  std::size_t total = 0;
+  for (const auto c : rdf.count) total += c;
+  EXPECT_EQ(total, 2 * count_pairs_within_cutoff(s, 8.5));
+}
+
+TEST(Analysis, RdfShowsLatticeExclusionZone) {
+  const auto s = make_state();
+  const auto rdf = radial_distribution(s, 8.5, 64);
+  // No pairs below the jittered-lattice minimum spacing; g ~ 1 at large r.
+  EXPECT_EQ(rdf.count[0], 0u);
+  EXPECT_EQ(rdf.count[5], 0u);  // 0.73 Å
+  double tail = 0.0;
+  for (std::size_t b = 48; b < 64; ++b) tail += rdf.g[b];
+  EXPECT_NEAR(tail / 16.0, 1.0, 0.15);
+}
+
+TEST(Analysis, RdfPerElementPair) {
+  DatasetParams p;
+  p.particles_per_cell = 16;
+  p.elements = ElementAssignment::kAlternating;
+  const auto s =
+      generate_dataset({3, 3, 3}, 8.5, ForceField::sodium_chloride(), p);
+  const auto all = radial_distribution(s, 8.0, 32);
+  const auto na_na = radial_distribution(s, 8.0, 32, 0, 0);
+  const auto na_cl = radial_distribution(s, 8.0, 32, 0, 1);
+  std::size_t total_all = 0, total_nana = 0, total_nacl = 0;
+  for (std::size_t b = 0; b < 32; ++b) {
+    total_all += all.count[b];
+    total_nana += na_na.count[b];
+    total_nacl += na_cl.count[b];
+  }
+  EXPECT_GT(total_nana, 0u);
+  EXPECT_GT(total_nacl, 0u);
+  EXPECT_LT(total_nana, total_all);
+}
+
+TEST(Analysis, RdfRejectsBadArgs) {
+  const auto s = make_state();
+  EXPECT_THROW(radial_distribution(s, 20.0, 16), std::invalid_argument);
+  EXPECT_THROW(radial_distribution(s, 8.0, 0), std::invalid_argument);
+}
+
+TEST(Analysis, MsdGrowsUnderDynamics) {
+  const auto ff = ForceField::sodium();
+  const auto s = make_state(300.0);
+  ReferenceEngine engine(s, ff, 8.5, 2.0, 2);
+  MsdTracker tracker(s);
+  double last = 0.0;
+  for (int block = 0; block < 4; ++block) {
+    engine.step(25);
+    last = tracker.update(engine.state());
+  }
+  EXPECT_GT(last, 0.0);
+  ASSERT_EQ(tracker.history().size(), 4u);
+  // Ballistic/diffusive growth: later samples exceed the first.
+  EXPECT_GT(tracker.history().back(), tracker.history().front() * 0.999);
+}
+
+TEST(Analysis, MsdUnwrapsPeriodicCrossings) {
+  // One particle drifting at constant velocity across the box boundary:
+  // MSD must keep growing quadratically, not reset at the wrap.
+  const auto ff = ForceField::sodium();
+  SystemState s;
+  s.cell_dims = {3, 3, 3};
+  s.cell_size = 8.5;
+  s.positions = {{25.0, 12.0, 12.0}};
+  s.velocities = {{0.5, 0.0, 0.0}};
+  s.elements = {0};
+  MsdTracker tracker(s);
+  const auto grid = s.grid();
+  for (int step = 1; step <= 20; ++step) {
+    s.positions[0] = grid.wrap_position({25.0 + 0.5 * step * 2.0, 12.0, 12.0});
+    const double msd = tracker.update(s);
+    const double expected = std::pow(0.5 * step * 2.0, 2);
+    EXPECT_NEAR(msd, expected, 1e-9) << "step " << step;
+  }
+}
+
+TEST(XyzIo, RoundTripsThroughStream) {
+  const auto ff = ForceField::sodium();
+  const auto s = make_state();
+  std::stringstream stream;
+  write_xyz_frame(stream, s, ff, "step=1");
+  write_xyz_frame(stream, s, ff, "step=2");
+
+  SystemState back;
+  ASSERT_TRUE(read_xyz_frame(stream, ff, back));
+  ASSERT_EQ(back.size(), s.size());
+  EXPECT_EQ(back.cell_dims, s.cell_dims);
+  EXPECT_NEAR(back.cell_size, s.cell_size, 1e-9);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(back.positions[i].x, s.positions[i].x, 1e-4);
+    EXPECT_EQ(back.elements[i], s.elements[i]);
+  }
+  ASSERT_TRUE(read_xyz_frame(stream, ff, back));
+  EXPECT_FALSE(read_xyz_frame(stream, ff, back)) << "EOF after two frames";
+}
+
+TEST(XyzIo, WriterCreatesReadableFile) {
+  const auto ff = ForceField::sodium();
+  const auto s = make_state();
+  const std::string path = "/tmp/fasda_xyz_test.xyz";
+  {
+    XyzWriter writer(path, ff);
+    writer.write(s, "frame=0");
+    writer.write(s, "frame=1");
+    EXPECT_EQ(writer.frames_written(), 2);
+  }
+  std::ifstream in(path);
+  SystemState back;
+  int frames = 0;
+  while (read_xyz_frame(in, ff, back)) ++frames;
+  EXPECT_EQ(frames, 2);
+}
+
+TEST(XyzIo, UnknownElementThrows) {
+  std::stringstream stream;
+  stream << "1\nbox=\"1 1 1\" cells=\"3 3 3\"\nXx 0 0 0\n";
+  SystemState back;
+  EXPECT_THROW(read_xyz_frame(stream, ForceField::sodium(), back),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fasda::md

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fasda/md/force_field.hpp"
+#include "fasda/md/units.hpp"
+
+namespace fasda::md {
+namespace {
+
+TEST(Units, EnergyConversionRoundTrips) {
+  EXPECT_NEAR(units::to_kcal_per_mol(units::from_kcal_per_mol(12.5)), 12.5, 1e-12);
+  // kT at 300 K is the well-known 0.596 kcal/mol.
+  EXPECT_NEAR(units::to_kcal_per_mol(units::kBoltzmann * 300.0), 0.596, 0.002);
+}
+
+TEST(ForceField, SodiumDefaults) {
+  const auto ff = ForceField::sodium();
+  ASSERT_EQ(ff.num_elements(), 1u);
+  EXPECT_EQ(ff.element(0).name, "Na");
+  EXPECT_NEAR(units::to_kcal_per_mol(ff.element(0).epsilon), 0.0469, 1e-6);
+  EXPECT_DOUBLE_EQ(ff.element(0).sigma, 2.43);
+}
+
+TEST(ForceField, LorentzBerthelotMixing) {
+  ForceField ff;
+  const auto a = ff.add_element("A", 0.1, 2.0, 10.0);
+  const auto b = ff.add_element("B", 0.4, 3.0, 20.0);
+  EXPECT_NEAR(ff.sigma(a, b), 2.5, 1e-12);
+  EXPECT_NEAR(ff.epsilon(a, b),
+              units::from_kcal_per_mol(std::sqrt(0.1 * 0.4)), 1e-15);
+  EXPECT_DOUBLE_EQ(ff.sigma(a, b), ff.sigma(b, a));
+}
+
+TEST(ForceField, PotentialZeroAtSigmaMinimumAtR0) {
+  const auto ff = ForceField::sodium();
+  const double sigma = ff.element(0).sigma;
+  EXPECT_NEAR(ff.lj_energy(sigma * sigma, 0, 0), 0.0, 1e-18);
+  // Minimum at r = 2^(1/6) σ with depth -ε.
+  const double rmin = std::pow(2.0, 1.0 / 6.0) * sigma;
+  EXPECT_NEAR(ff.lj_energy(rmin * rmin, 0, 0), -ff.element(0).epsilon,
+              1e-12 * ff.element(0).epsilon);
+}
+
+TEST(ForceField, ForceIsMinusPotentialGradient) {
+  const auto ff = ForceField::sodium();
+  for (const double r : {2.2, 2.43, 2.73, 3.5, 5.0, 8.0}) {
+    const double h = 1e-6;
+    const double dvdr =
+        (ff.lj_energy((r + h) * (r + h), 0, 0) -
+         ff.lj_energy((r - h) * (r - h), 0, 0)) /
+        (2.0 * h);
+    const geom::Vec3d f = ff.lj_force({r, 0.0, 0.0}, 0, 0);
+    EXPECT_NEAR(f.x, -dvdr, 1e-6 * std::abs(dvdr) + 1e-15) << "r=" << r;
+    EXPECT_DOUBLE_EQ(f.y, 0.0);
+    EXPECT_DOUBLE_EQ(f.z, 0.0);
+  }
+}
+
+TEST(ForceField, ForceIsAntisymmetric) {
+  const auto ff = ForceField::sodium();
+  const geom::Vec3d dr{1.1, -2.3, 0.7};
+  const auto f1 = ff.lj_force(dr, 0, 0);
+  const auto f2 = ff.lj_force(-dr, 0, 0);
+  EXPECT_NEAR(f1.x, -f2.x, 1e-18);
+  EXPECT_NEAR(f1.y, -f2.y, 1e-18);
+  EXPECT_NEAR(f1.z, -f2.z, 1e-18);
+}
+
+TEST(ForceField, ForceCoeffTableMatchesAnalyticForce) {
+  // (c14·u^-14 − c8·u^-8)·u_vec must equal the analytic Eq. 2 force when u
+  // is the cutoff-normalized displacement.
+  const auto ff = ForceField::sodium();
+  const double rc = 8.5;
+  const auto table = ff.force_coeff_table(rc);
+  for (const double r : {2.5, 3.0, 4.0, 6.0, 8.0}) {
+    const double u = r / rc;
+    const double u2 = u * u;
+    const double mag = table[0].c14 * std::pow(u2, -7.0) -
+                       table[0].c8 * std::pow(u2, -4.0);
+    const geom::Vec3d viaTable = geom::Vec3d{u, 0, 0} * mag;
+    const geom::Vec3d exact = ff.lj_force({r, 0, 0}, 0, 0);
+    EXPECT_NEAR(viaTable.x, exact.x, 2e-7 * std::abs(exact.x)) << "r=" << r;
+  }
+}
+
+TEST(ForceField, EnergyCoeffTableMatchesAnalyticEnergy) {
+  const auto ff = ForceField::sodium();
+  const double rc = 8.5;
+  const auto table = ff.energy_coeff_table(rc);
+  for (const double r : {2.5, 3.0, 4.0, 6.0, 8.0}) {
+    const double u2 = (r / rc) * (r / rc);
+    const double t12 = table[0].e12 * std::pow(u2, -6.0);
+    const double t6 = table[0].e6 * std::pow(u2, -3.0);
+    const double exact = ff.lj_energy(r * r, 0, 0);
+    // Near the V=0 crossing the two terms cancel, so the float32
+    // coefficient rounding must be measured against the term magnitudes.
+    EXPECT_NEAR(t12 - t6, exact, 2e-7 * (std::abs(t12) + std::abs(t6)) + 1e-15)
+        << "r=" << r;
+  }
+}
+
+TEST(ForceField, CoeffTablesIndexAllElementPairs) {
+  ForceField ff;
+  ff.add_element("A", 0.1, 2.0, 10.0);
+  ff.add_element("B", 0.2, 3.0, 20.0);
+  ff.add_element("C", 0.3, 4.0, 30.0);
+  const auto table = ff.force_coeff_table(8.5);
+  ASSERT_EQ(table.size(), 9u);
+  // Symmetric pairs get identical coefficients.
+  EXPECT_FLOAT_EQ(table[0 * 3 + 1].c14, table[1 * 3 + 0].c14);
+  EXPECT_FLOAT_EQ(table[1 * 3 + 2].c8, table[2 * 3 + 1].c8);
+}
+
+}  // namespace
+}  // namespace fasda::md

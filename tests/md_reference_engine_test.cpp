@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fasda/md/dataset.hpp"
+#include "fasda/md/energy.hpp"
+#include "fasda/md/reference_engine.hpp"
+
+namespace fasda::md {
+namespace {
+
+SystemState small_system(geom::IVec3 dims = {3, 3, 3}, int per_cell = 16) {
+  DatasetParams p;
+  p.particles_per_cell = per_cell;
+  p.seed = 7;
+  p.temperature = 150.0;
+  return generate_dataset(dims, 8.5, ForceField::sodium(), p);
+}
+
+TEST(ReferenceEngine, ForcesMatchStandaloneComputation) {
+  const auto state = small_system();
+  const auto ff = ForceField::sodium();
+  ReferenceEngine engine(state, ff, 8.5, 2.0, 2);
+  engine.step(1);  // populates forces for the stepped state
+  const auto expected = compute_forces(engine.state(), ff, 8.5);
+  // Recompute through the engine by stepping zero-force comparison instead:
+  // run one more step and compare the freshly used forces against the
+  // standalone evaluation on the pre-step state.
+  const auto before = engine.state();
+  engine.step(1);
+  const auto standalone = compute_forces(before, ff, 8.5);
+  ASSERT_EQ(standalone.size(), engine.forces().size());
+  for (std::size_t i = 0; i < standalone.size(); ++i) {
+    EXPECT_NEAR(engine.forces()[i].x, standalone[i].x, 1e-12);
+    EXPECT_NEAR(engine.forces()[i].y, standalone[i].y, 1e-12);
+    EXPECT_NEAR(engine.forces()[i].z, standalone[i].z, 1e-12);
+  }
+  (void)expected;
+}
+
+TEST(ReferenceEngine, ThreadCountDoesNotChangePhysics) {
+  const auto state = small_system();
+  const auto ff = ForceField::sodium();
+  ReferenceEngine e1(state, ff, 8.5, 2.0, 1);
+  ReferenceEngine e4(state, ff, 8.5, 2.0, 4);
+  e1.step(20);
+  e4.step(20);
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    EXPECT_NEAR(e1.state().positions[i].x, e4.state().positions[i].x, 1e-9);
+    EXPECT_NEAR(e1.state().positions[i].y, e4.state().positions[i].y, 1e-9);
+    EXPECT_NEAR(e1.state().positions[i].z, e4.state().positions[i].z, 1e-9);
+  }
+}
+
+TEST(ReferenceEngine, ConservesMomentum) {
+  const auto state = small_system();
+  const auto ff = ForceField::sodium();
+  ReferenceEngine engine(state, ff, 8.5, 2.0, 2);
+  engine.step(50);
+  const auto p = total_momentum(engine.state(), ff);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+  EXPECT_NEAR(p.z, 0.0, 1e-9);
+}
+
+TEST(ReferenceEngine, ConservesEnergyOverShortRun) {
+  const auto state = small_system({3, 3, 3}, 32);
+  const auto ff = ForceField::sodium();
+  ReferenceEngine engine(state, ff, 8.5, 2.0, 2);
+  const double e0 = engine.total_energy();
+  engine.step(500);
+  const double e1 = engine.total_energy();
+  // Truncated LJ drifts slightly as pairs cross the cutoff; the scale to
+  // compare against is the kinetic energy, not |e0| (which can be near 0).
+  const double scale = engine.kinetic() + std::abs(e0);
+  EXPECT_LT(std::abs(e1 - e0) / scale, 5e-3);
+}
+
+TEST(ReferenceEngine, ParticlesStayInBox) {
+  const auto state = small_system();
+  const auto ff = ForceField::sodium();
+  ReferenceEngine engine(state, ff, 8.5, 2.0, 2);
+  engine.step(100);
+  const auto box = engine.state().grid().box();
+  for (const auto& p : engine.state().positions) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, box.x);
+  }
+}
+
+TEST(ReferenceEngine, PairCountMatchesStandaloneCount) {
+  const auto state = small_system();
+  const auto ff = ForceField::sodium();
+  ReferenceEngine engine(state, ff, 8.5, 2.0, 3);
+  const std::size_t expected = count_pairs_within_cutoff(state, 8.5);
+  engine.step(1);
+  EXPECT_EQ(engine.last_pair_count(), expected);
+}
+
+TEST(ReferenceEngine, TwoBodyAnalyticTrajectory) {
+  // Two particles at the LJ minimum distance with zero velocity must stay
+  // put (zero force), at shorter distance must repel.
+  auto ff = ForceField::sodium();
+  const double sigma = ff.element(0).sigma;
+  const double rmin = std::pow(2.0, 1.0 / 6.0) * sigma;
+
+  SystemState s;
+  s.cell_dims = {3, 3, 3};
+  s.cell_size = 8.5;
+  s.positions = {{10.0, 10.0, 10.0}, {10.0 + rmin, 10.0, 10.0}};
+  s.velocities = {{0, 0, 0}, {0, 0, 0}};
+  s.elements = {0, 0};
+
+  ReferenceEngine at_min(s, ff, 8.5, 2.0, 1);
+  at_min.step(10);
+  EXPECT_NEAR(at_min.state().positions[0].x, 10.0, 1e-6);
+
+  s.positions[1].x = 10.0 + 0.95 * sigma;  // inside the core: repulsion
+  ReferenceEngine repel(s, ff, 8.5, 2.0, 1);
+  repel.step(5);
+  EXPECT_LT(repel.state().positions[0].x, 10.0);
+  EXPECT_GT(repel.state().positions[1].x, 10.0 + 0.95 * sigma);
+}
+
+}  // namespace
+}  // namespace fasda::md

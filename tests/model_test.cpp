@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "fasda/model/perf_models.hpp"
+#include "fasda/model/resource_model.hpp"
+
+namespace fasda::model {
+namespace {
+
+core::ClusterConfig weak(geom::IVec3 nodes) {
+  core::ClusterConfig c;
+  c.node_dims = nodes;
+  c.cells_per_node = {3, 3, 3};
+  return c;
+}
+
+core::ClusterConfig strong(int pes, int spes) {
+  core::ClusterConfig c;
+  c.node_dims = {2, 2, 2};
+  c.cells_per_node = {2, 2, 2};
+  c.pes_per_spe = pes;
+  c.spes = spes;
+  return c;
+}
+
+TEST(ResourceModel, SingleFpgaMatchesTable1Row1) {
+  const ResourceModel m;
+  const auto u = m.utilization(weak({1, 1, 1}));
+  // Paper row: LUT 40, FF 22, BRAM 29, URAM 20, DSP 20 (%).
+  EXPECT_NEAR(u.lut, 0.40, 0.05);
+  EXPECT_NEAR(u.ff, 0.22, 0.04);
+  EXPECT_NEAR(u.bram, 0.29, 0.08);
+  EXPECT_NEAR(u.uram, 0.20, 0.03);
+  EXPECT_NEAR(u.dsp, 0.20, 0.03);
+}
+
+TEST(ResourceModel, DistributedDesignCostsMoreThanSingle) {
+  const ResourceModel m;
+  const auto single = m.per_fpga(weak({1, 1, 1}));
+  const auto dual = m.per_fpga(weak({2, 1, 1}));
+  EXPECT_GT(dual.lut, single.lut);
+  EXPECT_GT(dual.uram, single.uram);
+  // Table 1: LUT grows modestly (40 -> 44 %), memory grows significantly.
+  EXPECT_LT(dual.lut / single.lut, 1.15);
+  EXPECT_GT(dual.uram / single.uram, 1.3);
+}
+
+TEST(ResourceModel, CommCostSaturatesWithNeighbors) {
+  // Table 1: 6x6x3 (4 FPGAs) and 6x6x6 (8 FPGAs) report identical usage.
+  const ResourceModel m;
+  const auto four = m.per_fpga(weak({2, 2, 1}));
+  const auto eight = m.per_fpga(weak({2, 2, 2}));
+  EXPECT_DOUBLE_EQ(four.lut, eight.lut);
+  EXPECT_DOUBLE_EQ(four.uram, eight.uram);
+}
+
+TEST(ResourceModel, StrongScalingVariantsOrdered) {
+  // A < B < C on every fabric resource (Table 1's bottom three rows).
+  const ResourceModel m;
+  const auto a = m.per_fpga(strong(1, 1));
+  const auto b = m.per_fpga(strong(3, 1));
+  const auto c = m.per_fpga(strong(3, 2));
+  EXPECT_LT(a.lut, b.lut);
+  EXPECT_LT(b.lut, c.lut);
+  EXPECT_LT(a.dsp, b.dsp);
+  EXPECT_LT(b.dsp, c.dsp);
+  EXPECT_LT(a.bram, b.bram);
+  EXPECT_LT(b.bram, c.bram);
+}
+
+TEST(ResourceModel, DspTracksPeCount) {
+  // DSPs live in pipelines and MUs; variant C has 6x the PEs of A.
+  const ResourceModel m;
+  const auto a = m.utilization(strong(1, 1));
+  const auto c = m.utilization(strong(3, 2));
+  EXPECT_NEAR(a.dsp, 0.06, 0.02);
+  EXPECT_NEAR(c.dsp, 0.27, 0.04);
+}
+
+TEST(ResourceModel, VariantCFitsOnU280) {
+  const ResourceModel m;
+  const auto u = m.utilization(strong(3, 2));
+  EXPECT_LT(u.lut, 1.0);
+  EXPECT_LT(u.ff, 1.0);
+  EXPECT_LT(u.bram, 1.0);
+  EXPECT_LT(u.uram, 1.0);
+  EXPECT_LT(u.dsp, 1.0);
+}
+
+TEST(ResourceModel, InterpolationDepthCostsBram) {
+  ResourceModel m;
+  auto cfg = weak({1, 1, 1});
+  const double base = m.per_fpga(cfg).bram;
+  cfg.table.num_bins = 1024;  // 4x deeper tables
+  EXPECT_GT(m.per_fpga(cfg).bram, base);
+}
+
+TEST(PerfModels, PairCountMatchesEq3Density) {
+  // 4096 particles at 64 per cell: N * 0.155*27*64/2 pairs.
+  EXPECT_NEAR(standard_pair_count(4096), 4096 * 267.84 / 2.0, 1.0);
+}
+
+TEST(PerfModels, RateConversion) {
+  // 86.4 µs per 2 fs step -> 1e9 steps/day -> 2 µs/day.
+  EXPECT_NEAR(us_per_day_from_step_seconds(86.4e-6), 2.0, 1e-9);
+}
+
+TEST(GpuModel, SingleA100Near2UsPerDayAt4x4x4) {
+  const GpuModel g;
+  EXPECT_NEAR(g.us_per_day(4096, 1, GpuKind::kA100), 2.0, 0.3);
+}
+
+TEST(GpuModel, NegativeStrongScaling) {
+  // §5.2: 2 GPUs lose ~26 %, 4 GPUs ~49 % versus 1 GPU.
+  const GpuModel g;
+  const double one = g.us_per_day(4096, 1, GpuKind::kA100);
+  const double two = g.us_per_day(4096, 2, GpuKind::kA100);
+  const double four = g.us_per_day(4096, 4, GpuKind::kV100);
+  EXPECT_NEAR(two / one, 0.74, 0.08);
+  EXPECT_NEAR(four / one, 0.51, 0.12);
+}
+
+TEST(GpuModel, NegativeWeakScaling) {
+  // "doubling the number of GPUs ... only provides half the simulation
+  // rate" for a doubled workload.
+  const GpuModel g;
+  const double one = g.us_per_day(1728, 1, GpuKind::kA100);
+  const double two = g.us_per_day(2 * 1728, 2, GpuKind::kA100);
+  EXPECT_LT(two / one, 0.75);
+}
+
+TEST(GpuModel, EfficiencyRisesWithWorkload) {
+  // §5.2: 4x4x4 -> 8x8x8 (8x particles) only drops the rate by ~60 %, and
+  // 10x10x10 halves it again.
+  const GpuModel g;
+  const double r4 = g.us_per_day(4096, 1, GpuKind::kA100);
+  const double r8 = g.us_per_day(32768, 1, GpuKind::kA100);
+  const double r10 = g.us_per_day(64000, 1, GpuKind::kA100);
+  EXPECT_GT(r8 / r4, 0.25);
+  EXPECT_LT(r8 / r4, 0.45);
+  EXPECT_NEAR(r10 / r8, 0.55, 0.12);
+}
+
+TEST(GpuModel, V100SlowerThanA100) {
+  const GpuModel g;
+  EXPECT_LT(g.us_per_day(4096, 1, GpuKind::kV100),
+            g.us_per_day(4096, 1, GpuKind::kA100));
+}
+
+TEST(CpuModel, ScalesWellToFourThreads) {
+  const CpuModel c;
+  const double one = c.us_per_day(1728, 1);
+  const double four = c.us_per_day(1728, 4);
+  EXPECT_GT(four / one, 3.0);
+}
+
+TEST(CpuModel, NegativeScalingAtManyThreads) {
+  // §5.2: "significant overhead for more than 8 threads and eventually ...
+  // negative scaling for 16 threads and beyond".
+  const CpuModel c;
+  const double sixteen = c.us_per_day(4096, 16);
+  const double thirtytwo = c.us_per_day(4096, 32);
+  EXPECT_LT(thirtytwo, sixteen);
+}
+
+TEST(CpuModel, CompetitiveAtSmallSizesOnly) {
+  // CPUs beat a latency-bound GPU on tiny systems but fall behind on the
+  // 4x4x4 benchmark space at any thread count.
+  const CpuModel c;
+  const GpuModel g;
+  double best_cpu = 0;
+  for (int t : {1, 2, 4, 8, 16, 32}) {
+    best_cpu = std::max(best_cpu, c.us_per_day(4096, t));
+  }
+  EXPECT_LT(best_cpu, g.us_per_day(4096, 1, GpuKind::kA100));
+}
+
+}  // namespace
+}  // namespace fasda::model

@@ -1,0 +1,218 @@
+// Cross-module property sweeps: grid-shape parameterization of the
+// neighbour partition, packet in-order delivery, probe machinery used by
+// the equivalence suites, and resource/performance model monotonicity.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fasda/core/simulation.hpp"
+#include "fasda/md/dataset.hpp"
+#include "fasda/model/perf_models.hpp"
+#include "fasda/model/resource_model.hpp"
+#include "fasda/net/network.hpp"
+
+namespace fasda {
+namespace {
+
+// ------------------------------------------------------- grid-shape sweep
+
+class GridShapes : public ::testing::TestWithParam<geom::IVec3> {};
+
+TEST_P(GridShapes, NeighborPartitionHolds) {
+  const geom::CellGrid grid(GetParam(), 1.0);
+  for (int id = 0; id < grid.num_cells(); ++id) {
+    const geom::IVec3 a = grid.coords(id);
+    int forward = 0;
+    std::set<geom::CellId> distinct;
+    for (const geom::IVec3& d : geom::full_shell_offsets()) {
+      const geom::IVec3 b = grid.wrap(a + d);
+      distinct.insert(grid.cid(b));
+      forward += grid.is_forward_neighbor(a, b);
+    }
+    EXPECT_EQ(forward, 13);
+    EXPECT_EQ(distinct.size(), 26u) << "all neighbours distinct when dims>=3";
+  }
+}
+
+TEST_P(GridShapes, CidIsABijection) {
+  const geom::CellGrid grid(GetParam(), 2.5);
+  std::set<geom::CellId> seen;
+  for (int x = 0; x < grid.dims().x; ++x) {
+    for (int y = 0; y < grid.dims().y; ++y) {
+      for (int z = 0; z < grid.dims().z; ++z) {
+        const geom::CellId id = grid.cid({x, y, z});
+        EXPECT_TRUE(seen.insert(id).second);
+        EXPECT_GE(id, 0);
+        EXPECT_LT(id, grid.num_cells());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridShapes,
+                         ::testing::Values(geom::IVec3{3, 3, 3},
+                                           geom::IVec3{4, 3, 5},
+                                           geom::IVec3{6, 3, 3},
+                                           geom::IVec3{5, 5, 5},
+                                           geom::IVec3{3, 7, 4}));
+
+// -------------------------------------------------- cluster-map partitions
+
+class ClusterShapes
+    : public ::testing::TestWithParam<std::pair<geom::IVec3, geom::IVec3>> {};
+
+TEST_P(ClusterShapes, EveryCellHasExactlyOneOwner) {
+  const auto [nodes, cpn] = GetParam();
+  const idmap::ClusterMap map(nodes, cpn);
+  const auto g = map.global_dims();
+  for (int x = 0; x < g.x; ++x) {
+    for (int y = 0; y < g.y; ++y) {
+      for (int z = 0; z < g.z; ++z) {
+        const geom::IVec3 cell{x, y, z};
+        const geom::IVec3 node = map.node_of_cell(cell);
+        EXPECT_EQ(map.global_cell(node, map.local_cell(cell)), cell);
+        const idmap::NodeId id = map.node_id(node);
+        EXPECT_GE(id, 0);
+        EXPECT_LT(id, map.num_nodes());
+      }
+    }
+  }
+}
+
+TEST_P(ClusterShapes, RemoteDestinationsAreActualNeighbors) {
+  const auto [nodes, cpn] = GetParam();
+  const idmap::ClusterMap map(nodes, cpn);
+  const auto g = map.global_dims();
+  for (int x = 0; x < g.x; ++x) {
+    for (int y = 0; y < g.y; ++y) {
+      for (int z = 0; z < g.z; ++z) {
+        const geom::IVec3 cell{x, y, z};
+        const idmap::NodeId own = map.node_id(map.node_of_cell(cell));
+        const auto neighbors = map.neighbor_nodes(own);
+        for (const idmap::NodeId dst : map.remote_destinations(cell)) {
+          EXPECT_NE(std::find(neighbors.begin(), neighbors.end(), dst),
+                    neighbors.end())
+              << "every P2R destination is a topological neighbour";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ClusterShapes,
+    ::testing::Values(std::pair{geom::IVec3{2, 2, 2}, geom::IVec3{2, 2, 2}},
+                      std::pair{geom::IVec3{2, 1, 1}, geom::IVec3{3, 3, 3}},
+                      std::pair{geom::IVec3{4, 1, 1}, geom::IVec3{3, 3, 3}},
+                      std::pair{geom::IVec3{2, 2, 1}, geom::IVec3{3, 3, 3}},
+                      std::pair{geom::IVec3{3, 3, 3}, geom::IVec3{2, 2, 2}}));
+
+// ----------------------------------------------------- network in-ordering
+
+TEST(EndpointOrdering, RecordsArriveInSendOrderPerSource) {
+  net::ChannelConfig config;
+  config.link_latency = 7;
+  config.cooldown = 1;
+  net::Fabric<net::PosRecord> fabric(config);
+  net::Endpoint<net::PosRecord> a(0, config), b(1, config), c(2, config);
+  fabric.attach(&a);
+  fabric.attach(&b);
+  fabric.attach(&c);
+
+  sim::Cycle now = 0;
+  int next_a = 0, next_b = 1000;
+  auto pump = [&](int cycles) {
+    for (int i = 0; i < cycles; ++i, ++now) {
+      auto send = [&](const net::Packet<net::PosRecord>& p) {
+        fabric.send(p, now);
+      };
+      a.tick_egress(now, send);
+      b.tick_egress(now, send);
+    }
+  };
+  for (int round = 0; round < 30; ++round) {
+    net::PosRecord ra;
+    ra.slot = static_cast<std::uint16_t>(next_a++);
+    a.enqueue(2, ra);
+    net::PosRecord rb;
+    rb.slot = static_cast<std::uint16_t>(next_b++);
+    b.enqueue(2, rb);
+    pump(2);
+  }
+  a.flush_last({2});
+  b.flush_last({2});
+  pump(40);
+
+  int last_a = -1, last_b = 999;
+  for (sim::Cycle t = 0; t < 300; ++t) {
+    if (auto r = c.poll_record(t)) {
+      if (r->slot < 1000) {
+        EXPECT_GT(static_cast<int>(r->slot), last_a) << "in order per source";
+        last_a = r->slot;
+      } else {
+        EXPECT_GT(static_cast<int>(r->slot), last_b);
+        last_b = r->slot;
+      }
+    }
+  }
+  EXPECT_EQ(last_a, 29);
+  EXPECT_EQ(last_b, 1029);
+}
+
+// ----------------------------------------------------------- probe plumbing
+
+TEST(Probes, PairAndFcProbesObserveAForcePhase) {
+  md::DatasetParams p;
+  p.particles_per_cell = 8;
+  const auto state =
+      md::generate_dataset({3, 3, 3}, 8.5, md::ForceField::sodium(), p);
+  std::size_t pair_events = 0, fc_events = 0;
+  pe::PairProbe::hook = [&](std::uint32_t, const pe::Reference&,
+                            const geom::Vec3f&) { ++pair_events; };
+  cbb::FcProbe::hook = [&](const geom::IVec3&, std::uint16_t,
+                           const geom::Vec3f&, int) { ++fc_events; };
+  core::Simulation sim(state, md::ForceField::sodium(), core::ClusterConfig{});
+  sim.run(1);
+  pe::PairProbe::hook = nullptr;
+  cbb::FcProbe::hook = nullptr;
+  EXPECT_EQ(pair_events, sim.pairs_issued());
+  // Every pair deposits a home-side FC write; retirements add more.
+  EXPECT_GE(fc_events, pair_events);
+}
+
+// ------------------------------------------------------- model monotonicity
+
+TEST(ModelMonotonicity, ResourcesGrowWithEveryKnob) {
+  const model::ResourceModel m;
+  core::ClusterConfig base;
+  base.node_dims = {2, 2, 2};
+  base.cells_per_node = {2, 2, 2};
+  const auto r0 = m.per_fpga(base);
+  auto more_pes = base;
+  more_pes.pes_per_spe = 2;
+  auto more_spes = base;
+  more_spes.spes = 2;
+  auto more_filters = base;
+  more_filters.filters_per_pipeline = 9;
+  auto more_cells = base;
+  more_cells.cells_per_node = {3, 3, 3};
+  for (const auto* cfg : {&more_pes, &more_spes, &more_filters, &more_cells}) {
+    const auto r = m.per_fpga(*cfg);
+    EXPECT_GT(r.lut, r0.lut);
+    EXPECT_GE(r.dsp, r0.dsp);
+  }
+}
+
+TEST(ModelMonotonicity, GpuRateIncreasesWithDevicesOnlyWhenThroughputBound) {
+  const model::GpuModel g;
+  // Tiny system: latency-bound, more GPUs always lose.
+  EXPECT_LT(g.us_per_day(4096, 4, model::GpuKind::kA100),
+            g.us_per_day(4096, 1, model::GpuKind::kA100));
+  // Huge system: throughput-bound, more GPUs win.
+  EXPECT_GT(g.us_per_day(4000000, 4, model::GpuKind::kA100),
+            g.us_per_day(4000000, 1, model::GpuKind::kA100));
+}
+
+}  // namespace
+}  // namespace fasda

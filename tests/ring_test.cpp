@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fasda/ring/ring.hpp"
+
+namespace fasda::ring {
+namespace {
+
+// A trivial token: value + destination station + optional multicast count.
+struct Tok {
+  int value = 0;
+  int dest = -1;        // -1: nobody consumes
+  int multicast = 1;    // deliveries before dropping
+};
+
+class TestStation : public Station<Tok> {
+ public:
+  TestStation(int id, std::size_t fifo_depth = 16)
+      : id_(id), inject(fifo_depth), delivered() {}
+
+  Action classify(const Tok& t) const override {
+    if (t.dest != id_) return Action::kPass;
+    return t.multicast <= 1 ? Action::kDeliverAndDrop : Action::kDeliver;
+  }
+
+  bool try_deliver(Tok& t) override {
+    if (blocked) return false;
+    delivered.push_back(t.value);
+    t.multicast--;
+    return true;
+  }
+
+  sim::Fifo<Tok>* inject_source() override { return &inject; }
+
+  int id_;
+  sim::Fifo<Tok> inject;
+  std::vector<int> delivered;
+  bool blocked = false;
+};
+
+struct RingHarness {
+  explicit RingHarness(int n) {
+    for (int i = 0; i < n; ++i) stations.push_back(std::make_unique<TestStation>(i));
+    std::vector<Station<Tok>*> ptrs;
+    for (auto& s : stations) ptrs.push_back(s.get());
+    ring = std::make_unique<Ring<Tok>>("test", ptrs);
+    scheduler.add(ring.get());
+    for (auto& s : stations) scheduler.add_clocked(&s->inject);
+  }
+  void run(int cycles) {
+    for (int i = 0; i < cycles; ++i) scheduler.run_cycle();
+  }
+  std::vector<std::unique_ptr<TestStation>> stations;
+  std::unique_ptr<Ring<Tok>> ring;
+  sim::Scheduler scheduler;
+};
+
+TEST(Ring, DeliversUnicastToken) {
+  RingHarness h(5);
+  h.stations[0]->inject.push(Tok{42, 3, 1});
+  h.run(10);
+  ASSERT_EQ(h.stations[3]->delivered.size(), 1u);
+  EXPECT_EQ(h.stations[3]->delivered[0], 42);
+  EXPECT_EQ(h.ring->occupancy(), 0u) << "token dropped after delivery";
+}
+
+TEST(Ring, HopLatencyIsOneCyclePerStation) {
+  RingHarness h(5);
+  h.stations[0]->inject.push(Tok{1, 3, 1});
+  // The push commits at the end of cycle 0, the token enters slot 0 in
+  // cycle 1, hops once per cycle (2, 3, 4) and is delivered by station 3's
+  // classify in cycle 5.
+  h.run(5);
+  EXPECT_TRUE(h.stations[3]->delivered.empty());
+  h.run(1);
+  EXPECT_EQ(h.stations[3]->delivered.size(), 1u);
+}
+
+TEST(Ring, WrapsAround) {
+  RingHarness h(4);
+  h.stations[2]->inject.push(Tok{7, 0, 1});  // 2 -> 3 -> 0
+  h.run(10);
+  ASSERT_EQ(h.stations[0]->delivered.size(), 1u);
+}
+
+TEST(Ring, MulticastVisitsAllDestinations) {
+  // dest == id matching can't express multicast to distinct stations, so use
+  // a token addressed to consecutive stations via repeated inject. Instead,
+  // test the counter path: a token with multicast=2 destined to station 1 on
+  // a 3-ring passes twice.
+  RingHarness h(3);
+  h.stations[0]->inject.push(Tok{9, 1, 2});
+  h.run(10);
+  EXPECT_EQ(h.stations[1]->delivered.size(), 2u)
+      << "kDeliver keeps the token circulating until the counter empties";
+  EXPECT_EQ(h.ring->occupancy(), 0u);
+}
+
+TEST(Ring, BlockedStationStallsToken) {
+  RingHarness h(4);
+  h.stations[2]->blocked = true;
+  h.stations[0]->inject.push(Tok{5, 2, 1});
+  h.run(10);
+  EXPECT_TRUE(h.stations[2]->delivered.empty());
+  EXPECT_EQ(h.ring->occupancy(), 1u) << "token waits at the blocked station";
+  h.stations[2]->blocked = false;
+  h.run(2);
+  EXPECT_EQ(h.stations[2]->delivered.size(), 1u);
+}
+
+TEST(Ring, BackpressurePropagatesBehindStall) {
+  RingHarness h(4);
+  h.stations[2]->blocked = true;
+  // Fill the ring behind the stalled token: three tokens jam slots 2, 1, 0;
+  // the fourth cannot inject while slot 0 is occupied.
+  for (int i = 0; i < 4; ++i) h.stations[0]->inject.push(Tok{i, 2, 1});
+  h.run(20);
+  EXPECT_EQ(h.ring->occupancy(), 3u);
+  EXPECT_EQ(h.stations[0]->inject.size(), 1u);
+  h.stations[2]->blocked = false;
+  h.run(20);
+  EXPECT_EQ(h.stations[2]->delivered.size(), 4u);
+  EXPECT_EQ(h.ring->occupancy(), 0u);
+}
+
+TEST(Ring, FullRingRotates) {
+  // All four slots occupied by tokens nobody consumes: they must keep
+  // rotating (no artificial deadlock), occupancy stays 4.
+  RingHarness h(4);
+  for (int i = 0; i < 4; ++i) h.stations[i]->inject.push(Tok{i, -1, 1});
+  h.run(50);
+  EXPECT_EQ(h.ring->occupancy(), 4u);
+}
+
+TEST(Ring, ManyTokensAllDelivered) {
+  RingHarness h(6);
+  int expected = 0;
+  for (int src = 0; src < 6; ++src) {
+    for (int k = 0; k < 10; ++k) {
+      h.stations[src]->inject.push(Tok{src * 100 + k, (src + 3) % 6, 1});
+      ++expected;
+    }
+  }
+  h.run(300);
+  int delivered = 0;
+  for (auto& s : h.stations) delivered += static_cast<int>(s->delivered.size());
+  EXPECT_EQ(delivered, expected);
+  EXPECT_EQ(h.ring->occupancy(), 0u);
+}
+
+TEST(Ring, UtilizationTracksOccupancy) {
+  RingHarness h(4);
+  h.run(10);
+  EXPECT_DOUBLE_EQ(h.ring->util().hardware_utilization(), 0.0);
+  for (int i = 0; i < 4; ++i) h.stations[i]->inject.push(Tok{i, -1, 1});
+  h.run(10);
+  EXPECT_GT(h.ring->util().hardware_utilization(), 0.0);
+  EXPECT_GT(h.ring->util().time_utilization(h.scheduler.cycle()), 0.0);
+}
+
+}  // namespace
+}  // namespace fasda::ring

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "fasda/sim/kernel.hpp"
+
+namespace fasda::sim {
+namespace {
+
+TEST(Fifo, PushesBecomeVisibleAfterCommit) {
+  Fifo<int> fifo(4);
+  EXPECT_TRUE(fifo.push(1));
+  EXPECT_TRUE(fifo.empty()) << "staged pushes must be invisible this cycle";
+  EXPECT_EQ(fifo.total_occupancy(), 1u);
+  fifo.commit();
+  ASSERT_FALSE(fifo.empty());
+  EXPECT_EQ(fifo.front(), 1);
+  EXPECT_EQ(fifo.pop(), 1);
+  EXPECT_TRUE(fifo.empty());
+}
+
+TEST(Fifo, CapacityCountsStagedItems) {
+  Fifo<int> fifo(2);
+  EXPECT_TRUE(fifo.push(1));
+  EXPECT_TRUE(fifo.push(2));
+  EXPECT_FALSE(fifo.can_push());
+  EXPECT_FALSE(fifo.push(3));
+  fifo.commit();
+  EXPECT_FALSE(fifo.can_push());
+  fifo.pop();
+  EXPECT_TRUE(fifo.can_push());
+}
+
+TEST(Fifo, PreservesOrderAcrossCommits) {
+  Fifo<int> fifo(8);
+  fifo.push(1);
+  fifo.push(2);
+  fifo.commit();
+  fifo.push(3);
+  fifo.commit();
+  EXPECT_EQ(fifo.pop(), 1);
+  EXPECT_EQ(fifo.pop(), 2);
+  EXPECT_EQ(fifo.pop(), 3);
+}
+
+TEST(Reg, WriteVisibleNextCycleOnly) {
+  Reg<int> reg;
+  EXPECT_TRUE(reg.can_write());
+  reg.write(7);
+  EXPECT_FALSE(reg.valid());
+  EXPECT_FALSE(reg.can_write());
+  reg.commit();
+  EXPECT_TRUE(reg.valid());
+  EXPECT_EQ(reg.value(), 7);
+  EXPECT_FALSE(reg.can_write()) << "full slot: clear first";
+  reg.clear();
+  reg.commit();
+  EXPECT_TRUE(reg.can_write());
+}
+
+TEST(Reg, DoubleWriteThrows) {
+  Reg<int> reg;
+  reg.write(1);
+  EXPECT_THROW(reg.write(2), std::logic_error);
+}
+
+TEST(UtilCounter, Ratios) {
+  UtilCounter c;
+  c.record(1, 2, true);
+  c.record(1, 2, false);
+  EXPECT_DOUBLE_EQ(c.hardware_utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(c.time_utilization(2), 0.5);
+  EXPECT_DOUBLE_EQ(c.time_utilization(2, 2), 0.25);
+  UtilCounter d;
+  d.record(2, 2, true);
+  c.merge(d);
+  EXPECT_DOUBLE_EQ(c.hardware_utilization(), 4.0 / 6.0);
+}
+
+TEST(UtilCounter, EmptyIsZero) {
+  const UtilCounter c;
+  EXPECT_DOUBLE_EQ(c.hardware_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(c.time_utilization(0), 0.0);
+}
+
+class Producer : public Component {
+ public:
+  Producer(Fifo<int>* out) : Component("producer"), out_(out) {}
+  void tick(Cycle now) override { out_->push(static_cast<int>(now)); }
+
+ private:
+  Fifo<int>* out_;
+};
+
+class Consumer : public Component {
+ public:
+  Consumer(Fifo<int>* in) : Component("consumer"), in_(in) {}
+  void tick(Cycle) override {
+    if (!in_->empty()) values.push_back(in_->pop());
+  }
+  std::vector<int> values;
+
+ private:
+  Fifo<int>* in_;
+};
+
+TEST(Scheduler, TickOrderInvariance) {
+  // Producer->FIFO->Consumer must behave identically whichever is ticked
+  // first: that's the whole point of two-phase state.
+  auto run = [](bool producer_first) {
+    Fifo<int> fifo(100);
+    Producer p(&fifo);
+    Consumer c(&fifo);
+    Scheduler s;
+    if (producer_first) {
+      s.add(&p);
+      s.add(&c);
+    } else {
+      s.add(&c);
+      s.add(&p);
+    }
+    s.add_clocked(&fifo);
+    for (int i = 0; i < 10; ++i) s.run_cycle();
+    return c.values;
+  };
+  EXPECT_EQ(run(true), run(false));
+  const auto v = run(true);
+  ASSERT_GE(v.size(), 2u);
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[1], 1) << "one-cycle FIFO latency";
+}
+
+TEST(Scheduler, RunUntilStopsAndThrowsOnBudget) {
+  Scheduler s;
+  int count = 0;
+  class Counter : public Component {
+   public:
+    explicit Counter(int* c) : Component("counter"), c_(c) {}
+    void tick(Cycle) override { ++*c_; }
+
+   private:
+    int* c_;
+  } counter(&count);
+  s.add(&counter);
+  s.run_until([&] { return count >= 5; }, 100);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.cycle(), 5u);
+  EXPECT_THROW(s.run_until([] { return false; }, 10), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fasda::sim

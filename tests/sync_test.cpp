@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "fasda/sync/sync.hpp"
+
+namespace fasda::sync {
+namespace {
+
+TEST(ChainedSync, FourCriteriaGateMotionUpdate) {
+  ChainedSync s(3);
+  s.begin_iteration();
+  EXPECT_FALSE(s.may_enter_motion_update());
+  s.mark_last_position_sent();
+  s.mark_last_force_sent();
+  EXPECT_FALSE(s.may_enter_motion_update());
+  for (int i = 0; i < 3; ++i) s.on_last_position_received();
+  EXPECT_FALSE(s.may_enter_motion_update());
+  for (int i = 0; i < 2; ++i) s.on_last_force_received();
+  EXPECT_FALSE(s.may_enter_motion_update()) << "2 of 3 forces received";
+  s.on_last_force_received();
+  EXPECT_TRUE(s.may_enter_motion_update());
+}
+
+TEST(ChainedSync, MotionUpdateUsesSimplifiedSingleSignal) {
+  ChainedSync s(2);
+  s.begin_iteration();
+  EXPECT_FALSE(s.may_finish_motion_update());
+  s.mark_last_mu_sent();
+  EXPECT_FALSE(s.may_finish_motion_update());
+  s.on_last_mu_received();
+  s.on_last_mu_received();
+  EXPECT_TRUE(s.may_finish_motion_update());
+}
+
+TEST(ChainedSync, BeginIterationResetsEverything) {
+  ChainedSync s(1);
+  s.begin_iteration();
+  s.mark_last_position_sent();
+  s.mark_last_force_sent();
+  s.on_last_position_received();
+  s.on_last_force_received();
+  ASSERT_TRUE(s.may_enter_motion_update());
+  s.begin_iteration();
+  EXPECT_FALSE(s.may_enter_motion_update());
+  EXPECT_FALSE(s.last_position_sent());
+}
+
+TEST(ChainedSync, ZeroNeighborsTriviallySatisfied) {
+  ChainedSync s(0);
+  s.begin_iteration();
+  s.mark_last_position_sent();
+  s.mark_last_force_sent();
+  EXPECT_TRUE(s.may_enter_motion_update());
+  s.mark_last_mu_sent();
+  EXPECT_TRUE(s.may_finish_motion_update());
+}
+
+TEST(BulkBarrier, ReleasesAfterLastArrivalPlusLatency) {
+  BulkBarrier barrier(3, 100);
+  barrier.arrive(0, 10);
+  barrier.arrive(0, 20);
+  EXPECT_FALSE(barrier.released(0, 1000)) << "only 2 of 3 arrived";
+  barrier.arrive(0, 50);
+  EXPECT_FALSE(barrier.released(0, 149));
+  EXPECT_TRUE(barrier.released(0, 150));
+}
+
+TEST(BulkBarrier, GenerationsAreIndependent) {
+  BulkBarrier barrier(2, 10);
+  barrier.arrive(0, 0);
+  barrier.arrive(0, 5);
+  EXPECT_TRUE(barrier.released(0, 15));
+  EXPECT_FALSE(barrier.released(1, 1000));
+  barrier.arrive(1, 20);
+  barrier.arrive(1, 30);
+  EXPECT_TRUE(barrier.released(1, 40));
+  EXPECT_TRUE(barrier.released(0, 40)) << "past generations stay released";
+}
+
+TEST(BulkBarrier, OverArrivalThrows) {
+  BulkBarrier barrier(1, 0);
+  barrier.arrive(0, 0);
+  EXPECT_THROW(barrier.arrive(0, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fasda::sync

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "fasda/util/cli.hpp"
+#include "fasda/util/rng.hpp"
+#include "fasda/util/thread_pool.hpp"
+
+namespace fasda::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += a() != b();
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    ASSERT_GE(u, -2.5);
+    ASSERT_LT(u, 3.5);
+  }
+}
+
+TEST(Rng, NormalMomentsMatchStandardNormal) {
+  Xoshiro256 rng(11);
+  const int n = 200000;
+  double mean = 0.0, var = 0.0;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal();
+  for (double x : xs) mean += x;
+  mean /= n;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= n;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit over 1000 draws
+}
+
+TEST(ThreadPool, CoversFullRangeOnce) {
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(hits.size(), [&](std::size_t, std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i]++;
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, WorkerIndicesAreUniqueAndBounded) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> used(pool.size());
+  pool.parallel_for(1000, [&](std::size_t worker, std::size_t, std::size_t) {
+    ASSERT_LT(worker, pool.size());
+    used[worker]++;
+  });
+  for (auto& u : used) EXPECT_LE(u.load(), 1);
+}
+
+TEST(ThreadPool, HandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> total{0};
+  pool.parallel_for(1, [&](std::size_t, std::size_t b, std::size_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(100, [&](std::size_t, std::size_t b, std::size_t e) {
+      long local = 0;
+      for (std::size_t i = b; i < e; ++i) local += static_cast<long>(i);
+      sum += local;
+    });
+  }
+  EXPECT_EQ(sum.load(), 200L * (99 * 100 / 2));
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--alpha", "3",    "--beta=x",
+                        "pos1", "--gamma", "pos2"};
+  Cli cli(7, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_or("alpha", 0L), 3);
+  EXPECT_EQ(cli.get_or("beta", "y"), "x");
+  EXPECT_TRUE(cli.has("gamma"));
+  EXPECT_FALSE(cli.has("delta"));
+  EXPECT_EQ(cli.get_or("delta", 9L), 9);
+  // "--gamma pos2": pos2 is consumed as gamma's value by the grammar.
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, ParsesDoubles) {
+  const char* argv[] = {"prog", "--x", "2.5"};
+  Cli cli(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get_or("x", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(cli.get_or("y", 1.25), 1.25);
+}
+
+}  // namespace
+}  // namespace fasda::util
