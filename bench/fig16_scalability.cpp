@@ -11,6 +11,11 @@
 //                  and report real wall-clock rates for this machine
 //   --sync bulk    run the FPGA configs under bulk synchronization instead
 //                  of chained (ablation)
+//   --workers N    simulator worker threads per cycle run (0 = auto, 1 =
+//                  serial scheduler); results are bitwise identical for any
+//                  N, only the host wall-clock changes
+//   --timing       report host wall-clock seconds per cycle run alongside
+//                  the simulated rate (for scheduler speedup measurements)
 
 #include "bench_common.hpp"
 #include "fasda/md/reference_engine.hpp"
@@ -21,11 +26,21 @@ namespace {
 
 using namespace fasda;
 
-double fpga_rate(const core::ClusterConfig& config, geom::IVec3 cells,
-                 int iters) {
+int g_workers = 1;      // --workers: simulator threads per cycle run
+bool g_timing = false;  // --timing: print host wall-clock per run
+double g_last_wall_seconds = 0.0;
+
+double fpga_rate(core::ClusterConfig config, geom::IVec3 cells, int iters) {
+  config.num_worker_threads = g_workers;
   const auto state = bench::standard_dataset(cells);
+  util::Stopwatch sw;
   core::Simulation sim(state, md::ForceField::sodium(), config);
   sim.run(iters);
+  g_last_wall_seconds = sw.seconds();
+  if (g_timing) {
+    std::printf("  [%dx%dx%d cells, %d workers: %.3f s wall]\n", cells.x,
+                cells.y, cells.z, sim.num_workers(), g_last_wall_seconds);
+  }
   return sim.microseconds_per_day();
 }
 
@@ -48,6 +63,8 @@ int main(int argc, char** argv) {
   const bool large = cli.has("large");
   const bool measure = cli.has("measure");
   const bool bulk = cli.get_or("sync", "chained") == std::string("bulk");
+  g_workers = static_cast<int>(cli.get_or("workers", 1L));
+  g_timing = cli.has("timing");
 
   const model::GpuModel gpu;
   const model::CpuModel cpu;
@@ -55,6 +72,9 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Figure 16 -- Scalability comparison (us/day, dt = 2 fs, 64 Na/cell)");
   if (bulk) std::printf("[ablation: bulk synchronization]\n");
+  if (g_workers != 1) {
+    std::printf("[parallel scheduler: --workers %d (0 = auto)]\n", g_workers);
+  }
 
   std::printf("\n-- Weak scaling (3x3x3 cells per FPGA) --\n");
   std::printf("%-8s %8s | %9s %9s %9s | %8s %8s %8s\n", "space", "FPGAs",

@@ -1,11 +1,30 @@
 #include "fasda/core/simulation.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
 
 #include "fasda/md/energy.hpp"
+#include "fasda/sim/parallel_scheduler.hpp"
 
 namespace fasda::core {
+
+namespace {
+
+/// Effective worker count: 0 = auto (hardware concurrency), clamped to the
+/// shard count — extra workers past one-per-node can only add dispatch
+/// overhead, never speed.
+int effective_workers(int requested, int num_nodes) {
+  int workers = requested;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
+  }
+  return std::max(1, std::min(workers, num_nodes));
+}
+
+}  // namespace
 
 Simulation::Simulation(const md::SystemState& state, md::ForceField ff,
                        const ClusterConfig& config)
@@ -21,6 +40,24 @@ Simulation::Simulation(const md::SystemState& state, md::ForceField ff,
     throw std::invalid_argument(
         "Simulation: cell_size must equal the cutoff (R_c normalized to one "
         "cell edge, §3.4)");
+  }
+
+  num_workers_ = effective_workers(config.num_worker_threads, map_.num_nodes());
+  if (num_workers_ > 1) {
+    // Parallel determinism needs every cross-shard element to expose only
+    // >= 1-cycle-delayed state (see DESIGN.md "Threading model"). The
+    // fabrics enforce link_latency >= 1 themselves; the bulk barrier is
+    // checked here.
+    if (config.sync_mode == sync::SyncMode::kBulk &&
+        config.bulk_barrier_latency < 1) {
+      throw std::invalid_argument(
+          "Simulation: bulk_barrier_latency must be >= 1 with parallel "
+          "workers");
+    }
+    scheduler_ = std::make_unique<sim::ParallelScheduler>(
+        static_cast<std::size_t>(num_workers_));
+  } else {
+    scheduler_ = std::make_unique<sim::Scheduler>();
   }
 
   model_ = std::make_unique<pe::ForceModel>(ff_, config.cutoff, config.table,
@@ -52,8 +89,14 @@ Simulation::Simulation(const md::SystemState& state, md::ForceField ff,
     nodes_.push_back(std::make_unique<fpga::FpgaNode>(
         id, per_node, *model_, map_, pos_fabric_.get(), frc_fabric_.get(),
         mig_fabric_.get(), barrier_.get()));
-    nodes_.back()->register_with(scheduler_);
+    nodes_.back()->register_with(*scheduler_);
   }
+
+  // The fabrics carry all cross-shard traffic; their staged sends commit
+  // single-threaded outside the sharded fan-out.
+  scheduler_->add_clocked(pos_fabric_.get(), sim::kGlobalShard);
+  scheduler_->add_clocked(frc_fabric_.get(), sim::kGlobalShard);
+  scheduler_->add_clocked(mig_fabric_.get(), sim::kGlobalShard);
 
   // Load particles into the owning CBBs' caches.
   const geom::CellGrid grid = state.grid();
@@ -79,13 +122,13 @@ Simulation::~Simulation() = default;
 
 void Simulation::run(int iterations) {
   if (iterations <= 0) return;
-  const sim::Cycle start = scheduler_.cycle();
+  const sim::Cycle start = scheduler_->cycle();
   for (auto& node : nodes_) {
     node->start(iterations, static_cast<float>(config_.dt), config_.cutoff, ff_);
   }
   const sim::Cycle budget =
       start + config_.max_cycles_per_iteration * static_cast<sim::Cycle>(iterations);
-  scheduler_.run_until(
+  scheduler_->run_until(
       [&] {
         for (const auto& node : nodes_) {
           if (!node->done()) return false;
@@ -93,7 +136,7 @@ void Simulation::run(int iterations) {
         return true;
       },
       budget);
-  last_run_cycles_ = scheduler_.cycle() - start;
+  last_run_cycles_ = scheduler_->cycle() - start;
   last_run_iterations_ = iterations;
 }
 
@@ -146,7 +189,7 @@ double Simulation::total_energy() const {
          md::kinetic_energy(s, ff_);
 }
 
-sim::Cycle Simulation::total_cycles() const { return scheduler_.cycle(); }
+sim::Cycle Simulation::total_cycles() const { return scheduler_->cycle(); }
 
 double Simulation::microseconds_per_day() const {
   if (last_run_cycles_ == 0 || last_run_iterations_ == 0) return 0.0;
@@ -167,7 +210,7 @@ UtilizationReport Simulation::utilization() const {
     mu.merge(node->mu_util());
   }
   UtilizationReport out;
-  const auto total = scheduler_.cycle();
+  const auto total = scheduler_->cycle();
   // Time-utilization denominators: one "instance" per component whose
   // active flag was recorded each tick. Rings and PEs record once per tick,
   // so active/capacity-style normalization uses the instance counts below.
@@ -196,7 +239,7 @@ TrafficReport Simulation::traffic() const {
   out.positions = pos_fabric_->traffic();
   out.forces = frc_fabric_->traffic();
   out.migrations = mig_fabric_->traffic();
-  const double cycles = static_cast<double>(scheduler_.cycle());
+  const double cycles = static_cast<double>(scheduler_->cycle());
   if (cycles > 0 && !nodes_.empty()) {
     const double bits_per_cycle_to_gbps = config_.clock_hz / 1e9;
     const double n = static_cast<double>(nodes_.size());

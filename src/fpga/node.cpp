@@ -178,25 +178,26 @@ FpgaNode::FpgaNode(NodeId id, const NodeConfig& config,
 FpgaNode::~FpgaNode() = default;
 
 void FpgaNode::register_with(sim::Scheduler& scheduler) {
-  scheduler.add(this);
+  const sim::ShardId shard_id = shard();
+  scheduler.add(this, shard_id);
   auto add_datapath = [&](sim::Component* c) {
     if (config_.slowdown > 1) {
       gates_.push_back(std::make_unique<Gated>(c, config_.slowdown));
-      scheduler.add(gates_.back().get());
+      scheduler.add(gates_.back().get(), shard_id);
     } else {
-      scheduler.add(c);
+      scheduler.add(c, shard_id);
     }
   };
   for (auto& c : cbbs_) {
     for (sim::Component* comp : c->components()) add_datapath(comp);
-    for (sim::Clocked* cl : c->clocked()) scheduler.add_clocked(cl);
+    for (sim::Clocked* cl : c->clocked()) scheduler.add_clocked(cl, shard_id);
   }
   for (auto& r : pos_rings_) add_datapath(r.get());
   for (auto& r : frc_rings_) add_datapath(r.get());
   add_datapath(mu_ring_.get());
-  for (auto& f : ex_pos_inject_) scheduler.add_clocked(f.get());
-  for (auto& f : ex_frc_inject_) scheduler.add_clocked(f.get());
-  scheduler.add_clocked(ex_mig_inject_.get());
+  for (auto& f : ex_pos_inject_) scheduler.add_clocked(f.get(), shard_id);
+  for (auto& f : ex_frc_inject_) scheduler.add_clocked(f.get(), shard_id);
+  scheduler.add_clocked(ex_mig_inject_.get(), shard_id);
 }
 
 cbb::Cbb& FpgaNode::cbb_at(const geom::IVec3& lcell) {

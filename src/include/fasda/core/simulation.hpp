@@ -44,6 +44,11 @@ struct ClusterConfig {
   /// Straggler injection: (node id, slowdown factor) pairs.
   std::vector<std::pair<idmap::NodeId, int>> stragglers;
   sim::Cycle max_cycles_per_iteration = 4'000'000;
+  /// Cycle-scheduler worker threads. 0 = auto (hardware concurrency),
+  /// 1 = the exact old serial behaviour, N > 1 = node-sharded parallel
+  /// execution on min(N, num_nodes) workers. Parallel runs are bitwise
+  /// identical to serial ones (see "Threading model" in DESIGN.md).
+  int num_worker_threads = 0;
 };
 
 /// Fig. 17's per-component breakdown, aggregated over the cluster.
@@ -104,6 +109,10 @@ class Simulation {
   std::uint64_t pairs_issued() const;
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
 
+  /// Effective scheduler worker count after the auto/clamp policy: 1 means
+  /// the serial scheduler is driving the cluster.
+  int num_workers() const { return num_workers_; }
+
   const idmap::ClusterMap& map() const { return map_; }
 
  private:
@@ -116,7 +125,8 @@ class Simulation {
   std::unique_ptr<net::Fabric<net::MigRecord>> mig_fabric_;
   std::unique_ptr<sync::BulkBarrier> barrier_;
   std::vector<std::unique_ptr<fpga::FpgaNode>> nodes_;
-  sim::Scheduler scheduler_;
+  std::unique_ptr<sim::Scheduler> scheduler_;
+  int num_workers_ = 1;
   sim::Cycle last_run_cycles_ = 0;
   int last_run_iterations_ = 0;
   std::size_t num_particles_ = 0;

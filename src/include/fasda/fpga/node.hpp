@@ -60,8 +60,14 @@ class FpgaNode : public sim::Component {
   FpgaNode& operator=(const FpgaNode&) = delete;
 
   /// Registers the node FSM, all datapath components (through the straggler
-  /// gate if configured), and all clocked elements.
+  /// gate if configured), and all clocked elements — every one tagged with
+  /// this node's shard() so a parallel scheduler keeps the whole node on one
+  /// worker. Nothing registered here touches another node's state during
+  /// tick: cross-node traffic goes through the two-phase fabrics only.
   void register_with(sim::Scheduler& scheduler);
+
+  /// Shard tag for the scheduler: one shard per FPGA node.
+  sim::ShardId shard() const { return static_cast<sim::ShardId>(id_); }
 
   /// Arms the node for `iterations` timesteps. Cell contents must have been
   /// loaded into the CBBs first.

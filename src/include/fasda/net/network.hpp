@@ -14,6 +14,17 @@
 // forces use separate QSFP ports in the paper; migrations get a third
 // logical channel). A Fabric routes packets between the endpoints of one
 // traffic class and records the per-pair traffic matrix behind Fig. 18.
+//
+// Cross-shard contract (parallel scheduler): the Fabric is the ONLY channel
+// between FPGA-node shards, and it is two-phase. send() during tick only
+// stages the packet in a per-source slot — no other shard's endpoint state
+// is touched — and commit() (run single-threaded by the scheduler, the
+// Fabric registers as a kGlobalShard clocked element) delivers staged
+// packets to destination endpoints in ascending source-id order. Because
+// link_latency >= 1 (enforced below), a delivered packet only ever becomes
+// pollable in a *later* cycle, so no shard can observe another shard's
+// same-cycle traffic — the property that makes parallel ticking bitwise
+// identical to serial.
 
 #include <array>
 #include <deque>
@@ -203,30 +214,56 @@ class Endpoint {
 };
 
 template <class R>
-class Fabric {
+class Fabric : public sim::Clocked {
  public:
-  explicit Fabric(const ChannelConfig& config) : config_(config) {}
+  explicit Fabric(const ChannelConfig& config) : config_(config) {
+    if (config_.link_latency < 1) {
+      // A zero-latency link would let a receiver observe same-cycle sends,
+      // making results depend on component tick order (serial or parallel).
+      throw std::invalid_argument("Fabric: link_latency must be >= 1");
+    }
+  }
 
   void attach(Endpoint<R>* endpoint) {
     if (static_cast<std::size_t>(endpoint->self()) >= endpoints_.size()) {
       endpoints_.resize(endpoint->self() + 1, nullptr);
     }
     endpoints_[endpoint->self()] = endpoint;
+    if (staged_.size() < endpoints_.size()) staged_.resize(endpoints_.size());
   }
 
-  /// The egress `send` hook: stamps the traffic matrix and schedules the
-  /// in-order arrival at the destination.
+  /// The egress `send` hook: stages the packet in the sender's own slot.
+  /// Safe to call concurrently from different source shards; two packets
+  /// from the same source are staged in send order.
   void send(const Packet<R>& p, sim::Cycle now) {
-    traffic_.record(p.src, p.dst);
-    endpoints_.at(p.dst)->deliver(p, now + config_.link_latency);
+    staged_.at(p.src).push_back(Staged{p, now + config_.link_latency});
+  }
+
+  /// Applies the cycle's staged sends: stamps the traffic matrix and
+  /// schedules the in-order arrival at each destination. Single-threaded;
+  /// ascending source order matches what serial in-id-order ticking did.
+  void commit() override {
+    for (auto& q : staged_) {
+      for (Staged& s : q) {
+        traffic_.record(s.packet.src, s.packet.dst);
+        endpoints_.at(s.packet.dst)->deliver(s.packet, s.arrival);
+      }
+      q.clear();
+    }
   }
 
   const TrafficMatrix& traffic() const { return traffic_; }
   const ChannelConfig& config() const { return config_; }
 
  private:
+  struct Staged {
+    Packet<R> packet;
+    sim::Cycle arrival;
+  };
+
   ChannelConfig config_;
   std::vector<Endpoint<R>*> endpoints_;
+  std::vector<std::vector<Staged>> staged_;  // one slot per source node
   TrafficMatrix traffic_;
 };
 

@@ -39,7 +39,8 @@ class Component {
 };
 
 /// Two-phase FIFO: push() stages (visible next cycle); pop()/front() operate
-/// on the committed view. Intended for a single consumer per FIFO.
+/// on the committed view. Intended for a single consumer per FIFO. Callers
+/// must check empty() first; pop()/front() on an empty committed queue throw.
 template <class T>
 class Fifo : public Clocked {
  public:
@@ -62,9 +63,13 @@ class Fifo : public Clocked {
   /// Committed + staged: used by drain/quiescence checks, not by datapaths.
   std::size_t total_occupancy() const { return items_.size() + staged_.size(); }
 
-  const T& front() const { return items_.front(); }
+  const T& front() const {
+    if (items_.empty()) throw std::logic_error("Fifo::front on empty committed queue");
+    return items_.front();
+  }
 
   T pop() {
+    if (items_.empty()) throw std::logic_error("Fifo::pop on empty committed queue");
     T v = std::move(items_.front());
     items_.pop_front();
     return v;
@@ -153,14 +158,37 @@ struct UtilCounter {
   }
 };
 
+/// Shard tag for registration. Components of one FPGA node share one shard;
+/// elements that are touched from more than one shard during a cycle (the
+/// net::Fabric instances, for example) register as kGlobalShard and are
+/// ticked/committed by the scheduler outside the sharded fan-out.
+using ShardId = int;
+inline constexpr ShardId kGlobalShard = -1;
+
+/// Serial cycle driver, and the interface parallel drivers implement.
+/// Ticks every component in registration order, then commits every clocked
+/// element. The two-phase contract makes results independent of tick order,
+/// so subclasses are free to reorder or parallelize — see
+/// sim/parallel_scheduler.hpp for the node-sharded implementation.
 class Scheduler {
  public:
-  void add(Component* c) { components_.push_back(c); }
-  void add_clocked(Clocked* c) { clocked_.push_back(c); }
+  Scheduler() = default;
+  virtual ~Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// `shard` is advisory: the serial scheduler ignores it; parallel
+  /// schedulers run same-shard registrants on the same worker. (Non-virtual
+  /// wrappers keep the default argument out of the virtual interface.)
+  void add(Component* c, ShardId shard = kGlobalShard) { add_impl(c, shard); }
+  void add_clocked(Clocked* c, ShardId shard = kGlobalShard) {
+    add_clocked_impl(c, shard);
+  }
 
   Cycle cycle() const { return cycle_; }
 
-  void run_cycle() {
+  virtual void run_cycle() {
     for (Component* c : components_) c->tick(cycle_);
     for (Clocked* c : clocked_) c->commit();
     ++cycle_;
@@ -179,7 +207,10 @@ class Scheduler {
     return cycle_;
   }
 
- private:
+ protected:
+  virtual void add_impl(Component* c, ShardId) { components_.push_back(c); }
+  virtual void add_clocked_impl(Clocked* c, ShardId) { clocked_.push_back(c); }
+
   std::vector<Component*> components_;
   std::vector<Clocked*> clocked_;
   Cycle cycle_ = 0;

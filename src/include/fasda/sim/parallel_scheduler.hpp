@@ -1,0 +1,67 @@
+#pragma once
+// Node-sharded parallel cycle driver.
+//
+// Components register tagged with a ShardId (one shard per FPGA node).
+// Every cycle runs as one two-phase fan-out on a persistent ThreadPool:
+//
+//   phase 1 (tick):   shards tick concurrently, one worker per contiguous
+//                     shard range; global components tick on the caller
+//                     before the fan-out.
+//   -- barrier --     every tick completes before any state commits.
+//   phase 2 (commit): per-shard clocked elements commit concurrently;
+//                     global clocked elements (the net::Fabric instances)
+//                     commit on the caller after the join.
+//
+// Why this is *bitwise identical* to the serial Scheduler: the tick/commit
+// contract (kernel.hpp) guarantees ticks read only state committed in
+// earlier cycles, so tick order within a cycle is immaterial — concurrent
+// ticks are just one more order. The only cross-shard mutable state is in
+// kGlobalShard elements, which stage writes during tick (per-source, so
+// writers never share a slot) and apply them single-threaded on the caller.
+// Per-shard UtilCounters live inside the shard's own components and are
+// only merged at report time, after run_until returns.
+//
+// What a shard-tagged component must never do in tick(): read or write
+// another shard's components, pop/push a Fifo owned by another shard, or
+// touch any shared element that is not two-phase. Cross-node traffic must
+// flow through a kGlobalShard Fabric.
+
+#include <cstddef>
+#include <vector>
+
+#include "fasda/sim/kernel.hpp"
+#include "fasda/util/thread_pool.hpp"
+
+namespace fasda::sim {
+
+class ParallelScheduler : public Scheduler {
+ public:
+  /// `threads` caps the worker count; shards are statically chunked over
+  /// min(threads, num_shards) participants. 0 and 1 both run the fan-out
+  /// inline on the caller (still bitwise identical, no pool).
+  explicit ParallelScheduler(std::size_t threads);
+
+  void run_cycle() override;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_threads() const { return pool_.size(); }
+
+ protected:
+  void add_impl(Component* c, ShardId shard) override;
+  void add_clocked_impl(Clocked* c, ShardId shard) override;
+
+ private:
+  struct Shard {
+    std::vector<Component*> components;
+    std::vector<Clocked*> clocked;
+  };
+
+  Shard& shard_at(ShardId shard);
+
+  std::vector<Shard> shards_;            // indexed by ShardId
+  std::vector<Component*> global_components_;
+  std::vector<Clocked*> global_clocked_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace fasda::sim

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "fasda/sim/kernel.hpp"
@@ -69,12 +70,21 @@ class ChainedSync {
 /// Global barrier with a release latency (host round trip or central-FPGA
 /// hop). A node arrives once per (iteration, phase) sequence number and is
 /// released `release_latency` cycles after the slowest arrival.
+///
+/// Shared across every FPGA-node shard, so arrive()/released() take an
+/// internal mutex: both are called from concurrent shard ticks under the
+/// parallel scheduler. The outcome stays independent of arrival order
+/// within a cycle — and therefore bitwise identical to serial — as long as
+/// release_latency >= 1, because a generation completed at cycle N is only
+/// ever releasable at N + release_latency > N (core::Simulation enforces
+/// the precondition when parallel execution is requested).
 class BulkBarrier {
  public:
   BulkBarrier(int num_nodes, sim::Cycle release_latency)
       : num_nodes_(num_nodes), release_latency_(release_latency) {}
 
   void arrive(std::uint64_t seq, sim::Cycle now) {
+    std::lock_guard lock(mutex_);
     Generation& g = generations_[seq];
     if (g.arrived >= num_nodes_) {
       throw std::logic_error("BulkBarrier: more arrivals than nodes");
@@ -83,6 +93,7 @@ class BulkBarrier {
   }
 
   bool released(std::uint64_t seq, sim::Cycle now) const {
+    std::lock_guard lock(mutex_);
     const auto it = generations_.find(seq);
     return it != generations_.end() && it->second.arrived == num_nodes_ &&
            now >= it->second.release_at;
@@ -96,6 +107,7 @@ class BulkBarrier {
 
   int num_nodes_;
   sim::Cycle release_latency_;
+  mutable std::mutex mutex_;
   std::map<std::uint64_t, Generation> generations_;
 };
 

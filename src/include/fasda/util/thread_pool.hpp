@@ -32,23 +32,36 @@ class ThreadPool {
   using Body = std::function<void(std::size_t, std::size_t, std::size_t)>;
   void parallel_for(std::size_t n, const Body& body);
 
+  /// Blocking two-phase fan-out/join: runs phase1(worker, begin, end) over
+  /// [0, n) with the same static chunking as parallel_for, then rendezvous
+  /// at an internal barrier (every participant, even those with an empty
+  /// chunk), then runs phase2 over the same chunks. The barrier guarantees
+  /// every phase1 write happens-before every phase2 read — exactly the
+  /// tick/commit separation the parallel cycle scheduler needs.
+  void parallel_phases(std::size_t n, const Body& phase1, const Body& phase2);
+
  private:
   struct Task {
     const Body* body = nullptr;
+    const Body* phase2 = nullptr;  // non-null only for parallel_phases calls
     std::size_t worker = 0;
     std::size_t begin = 0;
     std::size_t end = 0;
   };
 
   void worker_loop(std::size_t worker_index);
+  void barrier_wait(std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
+  std::condition_variable cv_barrier_;
   std::vector<Task> tasks_;       // one slot per worker
   std::uint64_t generation_ = 0;  // bumped per parallel_for call
   std::size_t pending_ = 0;
+  std::size_t barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
   bool stop_ = false;
 };
 

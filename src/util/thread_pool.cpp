@@ -31,7 +31,7 @@ void ThreadPool::parallel_for(std::size_t n, const Body& body) {
   {
     std::lock_guard lock(mutex_);
     for (std::size_t p = 0; p < workers_.size(); ++p) {
-      tasks_[p] = Task{&body, p + 1, chunk_begin(p + 1), chunk_begin(p + 2)};
+      tasks_[p] = Task{&body, nullptr, p + 1, chunk_begin(p + 1), chunk_begin(p + 2)};
     }
     pending_ = workers_.size();
     ++generation_;
@@ -41,6 +41,49 @@ void ThreadPool::parallel_for(std::size_t n, const Body& body) {
   if (chunk_begin(1) > 0) body(0, 0, chunk_begin(1));
   std::unique_lock lock(mutex_);
   cv_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_phases(std::size_t n, const Body& phase1,
+                                 const Body& phase2) {
+  const std::size_t parts = size();
+  if (parts == 1 || n < 2) {
+    if (n > 0) {
+      phase1(0, 0, n);
+      phase2(0, 0, n);
+    }
+    return;
+  }
+  auto chunk_begin = [&](std::size_t p) { return p * n / parts; };
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t p = 0; p < workers_.size(); ++p) {
+      tasks_[p] = Task{&phase1, &phase2, p + 1, chunk_begin(p + 1), chunk_begin(p + 2)};
+    }
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  // The caller is a full participant: chunk 0 in both phases and one of the
+  // `parts` arrivals the barrier waits for.
+  if (chunk_begin(1) > 0) phase1(0, 0, chunk_begin(1));
+  {
+    std::unique_lock lock(mutex_);
+    barrier_wait(lock);
+  }
+  if (chunk_begin(1) > 0) phase2(0, 0, chunk_begin(1));
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::barrier_wait(std::unique_lock<std::mutex>& lock) {
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_waiting_ == size()) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    cv_barrier_.notify_all();
+  } else {
+    cv_barrier_.wait(lock, [&] { return barrier_generation_ != gen; });
+  }
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -56,6 +99,16 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     }
     if (task.body && task.end > task.begin) {
       (*task.body)(task.worker, task.begin, task.end);
+    }
+    if (task.phase2) {
+      // Two-phase task: every worker joins the barrier, chunk or no chunk.
+      {
+        std::unique_lock lock(mutex_);
+        barrier_wait(lock);
+      }
+      if (task.end > task.begin) {
+        (*task.phase2)(task.worker, task.begin, task.end);
+      }
     }
     {
       std::lock_guard lock(mutex_);

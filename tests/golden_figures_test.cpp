@@ -1,0 +1,85 @@
+// Locks in the headline paper-reproduction numbers from DESIGN.md §4 so a
+// refactor cannot silently shift them. Everything here is deterministic
+// (fixed seeds, cycle-level simulation, analytic models), so the tolerances
+// exist only to absorb deliberate, reviewed model tweaks — not noise. If a
+// change moves a number outside its band, either the change is wrong or
+// DESIGN.md/EXPERIMENTS.md must be re-derived alongside this test.
+//
+// Golden values (iters = 2, 64 Na/cell, seed 0x5eed):
+//   - locking-filter acceptance at c = R_c: ~15.5 % (Eq. 3, Fig. 3)
+//   - strong scaling 4x4x4-A = 2.56 µs/day, 4x4x4-C = 9.20 µs/day,
+//     C vs A = 3.60x (paper: 5.26x)
+//   - FASDA best (C) vs best GPU (1x A100 model) = 4.66x (paper: 4.67x)
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "../bench/bench_common.hpp"
+#include "fasda/md/energy.hpp"
+#include "fasda/model/perf_models.hpp"
+
+namespace fasda {
+namespace {
+
+double strong_rate(int pes_per_spe, int spes) {
+  const auto config = bench::strong_config(pes_per_spe, spes);
+  const auto state = bench::standard_dataset({4, 4, 4});
+  core::Simulation sim(state, md::ForceField::sodium(), config);
+  sim.run(2);
+  return sim.microseconds_per_day();
+}
+
+TEST(GoldenFigures, LockingFilterAcceptanceNearFifteenPointFive) {
+  // Analytic Eq. 3 at c = 1: cutoff-sphere volume over the 27-cell
+  // neighbourhood volume.
+  const double p_analytic = (4.0 / 3.0) * std::numbers::pi / 27.0;
+  EXPECT_NEAR(p_analytic, 0.155, 0.001);
+
+  // Empirical acceptance on the ablation_cellsize c = 1 dataset: uniform
+  // placement, 16 particles per cell, cells of edge R_c.
+  const double rc = 8.5;
+  md::DatasetParams params;
+  params.placement = md::Placement::kUniform;
+  params.particles_per_cell = 16;
+  params.min_distance = 0.8;
+  params.seed = 99;
+  const auto state =
+      md::generate_dataset({3, 3, 3}, rc, md::ForceField::sodium(), params);
+  const std::size_t pairs = md::count_pairs_within_cutoff(state, rc);
+  const double density =
+      static_cast<double>(state.size()) / std::pow(3 * rc, 3);
+  const double candidates_per_particle = 27.0 * density * std::pow(rc, 3);
+  const double p_measured =
+      2.0 * static_cast<double>(pairs) /
+      (static_cast<double>(state.size()) * candidates_per_particle);
+  EXPECT_NEAR(p_measured, p_analytic, 0.02)
+      << "measured locking-filter acceptance drifted from Eq. 3";
+}
+
+TEST(GoldenFigures, StrongScalingRatesAndCvsAGain) {
+  const double rate_a = strong_rate(1, 1);  // 4x4x4-A: 1 SPE, 1 PE
+  const double rate_c = strong_rate(3, 2);  // 4x4x4-C: 2 SPE, 3 PE
+  EXPECT_NEAR(rate_a, 2.56, 0.13);  // ±5%
+  EXPECT_NEAR(rate_c, 9.20, 0.46);  // ±5%
+
+  const double gain = rate_c / rate_a;
+  EXPECT_GE(gain, 3.4) << "C vs A strong-scaling gain collapsed";
+  EXPECT_LE(gain, 3.8) << "C vs A strong-scaling gain inflated";
+}
+
+TEST(GoldenFigures, FasdaBestVsBestGpuNearPaperRatio) {
+  const double rate_c = strong_rate(3, 2);
+  const model::GpuModel gpu;
+  const std::size_t n444 = 64 * 64;  // 4x4x4 cells x 64 Na
+  const double gpu_best = gpu.us_per_day(n444, 1, model::GpuKind::kA100);
+  EXPECT_NEAR(gpu_best, 1.98, 0.10);
+
+  const double ratio = rate_c / gpu_best;
+  EXPECT_GE(ratio, 4.4) << "FASDA-vs-GPU advantage collapsed (paper: 4.67x)";
+  EXPECT_LE(ratio, 4.9) << "FASDA-vs-GPU advantage inflated (paper: 4.67x)";
+}
+
+}  // namespace
+}  // namespace fasda

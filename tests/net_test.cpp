@@ -21,6 +21,7 @@ struct TwoNodes {
     for (int i = 0; i < cycles; ++i, ++now) {
       a.tick_egress(now, [&](const Packet<PosRecord>& p) { fabric.send(p, now); });
       b.tick_egress(now, [&](const Packet<PosRecord>& p) { fabric.send(p, now); });
+      fabric.commit();  // two-phase: staged sends deliver at end of cycle
     }
   }
   Fabric<PosRecord> fabric;
@@ -155,6 +156,7 @@ TEST(Fabric, TrafficMatrixPerPair) {
   for (int i = 0; i < 8; ++i) e0.enqueue(2, FrcRecord{});
   for (sim::Cycle now = 0; now < 50; ++now) {
     e0.tick_egress(now, [&](const Packet<FrcRecord>& p) { fabric.send(p, now); });
+    fabric.commit();
   }
   const auto& t = fabric.traffic();
   EXPECT_EQ(t.packets.at({0, 1}), 1u);

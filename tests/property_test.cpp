@@ -129,6 +129,7 @@ TEST(EndpointOrdering, RecordsArriveInSendOrderPerSource) {
       };
       a.tick_egress(now, send);
       b.tick_egress(now, send);
+      fabric.commit();
     }
   };
   for (int round = 0; round < 30; ++round) {

@@ -29,6 +29,20 @@ TEST(Fifo, CapacityCountsStagedItems) {
   EXPECT_TRUE(fifo.can_push());
 }
 
+TEST(Fifo, PopAndFrontOnEmptyCommittedQueueThrow) {
+  Fifo<int> fifo(4);
+  EXPECT_THROW(fifo.pop(), std::logic_error);
+  EXPECT_THROW(fifo.front(), std::logic_error);
+  // A staged-but-uncommitted item is still invisible to pop()/front().
+  EXPECT_TRUE(fifo.push(1));
+  EXPECT_THROW(fifo.pop(), std::logic_error);
+  EXPECT_THROW(fifo.front(), std::logic_error);
+  fifo.commit();
+  EXPECT_EQ(fifo.front(), 1);
+  EXPECT_EQ(fifo.pop(), 1);
+  EXPECT_THROW(fifo.pop(), std::logic_error) << "drained: empty again";
+}
+
 TEST(Fifo, PreservesOrderAcrossCommits) {
   Fifo<int> fifo(8);
   fifo.push(1);

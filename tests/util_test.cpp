@@ -117,6 +117,68 @@ TEST(ThreadPool, ReusableAcrossManyDispatches) {
   EXPECT_EQ(sum.load(), 200L * (99 * 100 / 2));
 }
 
+TEST(ThreadPool, ParallelPhasesBarrierOrdersPhases) {
+  // Phase 2 of every chunk must observe phase-1 writes from EVERY chunk,
+  // including chunks run by other workers — that's the barrier.
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    const std::size_t n = 512;
+    std::vector<int> stage(n, 0);
+    std::vector<int> sums(n, 0);
+    for (int round = 0; round < 20; ++round) {
+      pool.parallel_phases(
+          n,
+          [&](std::size_t, std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) stage[i] = static_cast<int>(i) + round;
+          },
+          [&](std::size_t, std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+              // Read across the whole array, not just the local chunk.
+              sums[i] = stage[i] + stage[n - 1 - i] + stage[0];
+            }
+          });
+      for (std::size_t i = 0; i < n; ++i) {
+        // (i + r) + (n-1-i + r) + (0 + r) = n - 1 + 3r for every i.
+        ASSERT_EQ(sums[i], static_cast<int>(n - 1) + 3 * round)
+            << "threads=" << threads << " round=" << round << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelPhasesHandlesEmptyTinyAndFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  int p1 = 0, p2 = 0;
+  pool.parallel_phases(
+      0, [&](std::size_t, std::size_t, std::size_t) { ++p1; },
+      [&](std::size_t, std::size_t, std::size_t) { ++p2; });
+  EXPECT_EQ(p1, 0);
+  EXPECT_EQ(p2, 0);
+
+  std::atomic<int> t1{0}, t2{0};
+  pool.parallel_phases(
+      1,
+      [&](std::size_t, std::size_t b, std::size_t e) { t1 += static_cast<int>(e - b); },
+      [&](std::size_t, std::size_t b, std::size_t e) { t2 += static_cast<int>(e - b); });
+  EXPECT_EQ(t1.load(), 1);
+  EXPECT_EQ(t2.load(), 1);
+
+  // 3 items over up to 8 participants: several workers get empty chunks but
+  // must still join the barrier (this deadlocks if they don't).
+  std::vector<std::atomic<int>> hits(3);
+  std::atomic<int> commits{0};
+  pool.parallel_phases(
+      hits.size(),
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i]++;
+      },
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        commits += static_cast<int>(e - b);
+      });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(commits.load(), 3);
+}
+
 TEST(Cli, ParsesFlagsAndPositionals) {
   const char* argv[] = {"prog", "--alpha", "3",    "--beta=x",
                         "pos1", "--gamma", "pos2"};
