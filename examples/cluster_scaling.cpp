@@ -1,9 +1,9 @@
 // Mirror of the paper artifact's workflow: `./compile.sh 222 444` selects
 // 2x2x2 cells per FPGA within a 4x4x4 global space. This example accepts
-// the same two configuration strings, builds the corresponding cluster in
-// the cycle-level simulator, runs it, and prints the counters the
-// artifact's run.py dumps over AXI-Lite (operation cycles, per-component
-// activity, packet traffic).
+// the same configuration strings (plus the XxYxZ form for axes >= 10),
+// builds the corresponding cluster through the engine registry, runs it,
+// and prints the counters the artifact's run.py dumps over AXI-Lite
+// (operation cycles, per-component activity, packet traffic).
 //
 //   ./cluster_scaling [--cells 222] [--space 444] [--pes N] [--spes N]
 //                     [--iters N]
@@ -12,61 +12,49 @@
 #include <stdexcept>
 #include <string>
 
-#include "fasda/core/simulation.hpp"
+#include "fasda/engine/registry.hpp"
 #include "fasda/md/dataset.hpp"
 #include "fasda/util/cli.hpp"
-
-namespace {
-
-/// Parses the artifact's "222"-style triple into a vector.
-fasda::geom::IVec3 parse_dims(const std::string& s) {
-  if (s.size() != 3) {
-    throw std::invalid_argument("config string must be 3 digits, e.g. 222");
-  }
-  auto digit = [&](int i) {
-    const int v = s[i] - '0';
-    if (v < 1 || v > 9) throw std::invalid_argument("bad digit in " + s);
-    return v;
-  };
-  return {digit(0), digit(1), digit(2)};
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fasda;
   const util::Cli cli(argc, argv);
-  const geom::IVec3 cells_per_node = parse_dims(cli.get_or("cells", "222"));
-  const geom::IVec3 space = parse_dims(cli.get_or("space", "444"));
+  const geom::IVec3 space = util::parse_dims(cli.get_or("space", "444"));
   const int iters = static_cast<int>(cli.get_or("iters", 2L));
 
-  if (space.x % cells_per_node.x || space.y % cells_per_node.y ||
-      space.z % cells_per_node.z) {
-    std::fprintf(stderr, "space must tile by cells-per-FPGA\n");
-    return 1;
-  }
-  core::ClusterConfig config;
-  config.cells_per_node = cells_per_node;
-  config.node_dims = {space.x / cells_per_node.x, space.y / cells_per_node.y,
-                      space.z / cells_per_node.z};
-  config.pes_per_spe = static_cast<int>(cli.get_or("pes", 1L));
-  config.spes = static_cast<int>(cli.get_or("spes", 1L));
+  engine::EngineSpec spec;
+  spec.engine = "cycle";
+  spec.cells_per_node = util::parse_dims(cli.get_or("cells", "222"));
+  spec.pes_per_spe = static_cast<int>(cli.get_or("pes", 1L));
+  spec.spes = static_cast<int>(cli.get_or("spes", 1L));
 
   const md::ForceField ff = md::ForceField::sodium();
   md::DatasetParams params;
   params.particles_per_cell = 64;
   const auto state = md::generate_dataset(space, 8.5, ff, params);
 
+  std::unique_ptr<engine::Engine> eng;
+  try {
+    eng = engine::Registry::instance().create(state, ff, spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  const auto& cycle = dynamic_cast<const engine::CycleEngine&>(*eng);
+  const auto cluster = engine::cluster_config_for(spec, state);
+
   std::printf("configuration: %dx%dx%d cells per FPGA, %dx%dx%d space, "
               "%d FPGAs, %d SPE x %d PE\n",
-              cells_per_node.x, cells_per_node.y, cells_per_node.z, space.x,
-              space.y, space.z, config.node_dims.product(), config.spes,
-              config.pes_per_spe);
+              cluster.cells_per_node.x, cluster.cells_per_node.y,
+              cluster.cells_per_node.z, space.x, space.y, space.z,
+              cluster.node_dims.product(), cluster.spes, cluster.pes_per_spe);
 
-  core::Simulation sim(state, ff, config);
-  sim.run(iters);
+  eng->step(iters);
 
-  // The counters the artifact reads back over AXI-Lite.
+  // The counters the artifact reads back over AXI-Lite. StepMetrics carries
+  // the headline numbers; the full per-component breakdown comes from the
+  // underlying cycle-level simulation.
+  const auto& sim = cycle.simulation();
   const auto u = sim.utilization();
   const auto t = sim.traffic();
   std::printf("\noperation_cycle_cnt      : %llu (%d iterations)\n",
@@ -82,6 +70,6 @@ int main(int argc, char** argv) {
   std::printf("bandwidth demand         : %.1f / %.1f Gbps (pos / frc)\n",
               t.position_gbps_per_node, t.force_gbps_per_node);
   std::printf("simulation rate          : %.2f us/day\n",
-              sim.microseconds_per_day());
+              eng->metrics().microseconds_per_day);
   return 0;
 }

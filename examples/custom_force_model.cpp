@@ -3,18 +3,19 @@
 // with trivial modification"): a molten NaCl system with BOTH range-limited
 // components enabled — Lennard-Jones plus the Ewald real-space
 // electrostatic term — running through the same pipelines with one extra
-// table. Dumps an extended-XYZ trajectory and prints the Na-Cl radial
-// distribution function, whose contact peak shows the expected unlike-ion
-// ordering.
+// table. The run is driven through the engine layer: the XYZ trajectory and
+// the energy table come from step observers instead of a hand-rolled loop.
+// Prints the Na-Cl radial distribution function, whose contact peak shows
+// the expected unlike-ion ordering.
 //
 //   ./custom_force_model [--steps N] [--out /tmp/nacl.xyz]
 
 #include <cstdio>
 
+#include "fasda/engine/observers.hpp"
+#include "fasda/engine/registry.hpp"
 #include "fasda/md/analysis.hpp"
 #include "fasda/md/dataset.hpp"
-#include "fasda/md/functional_engine.hpp"
-#include "fasda/md/xyz_io.hpp"
 #include "fasda/util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -32,38 +33,30 @@ int main(int argc, char** argv) {
   params.elements = md::ElementAssignment::kAlternating;
   const auto state = md::generate_dataset({4, 4, 4}, 8.5, ff, params);
 
-  md::FunctionalConfig config;
-  config.cutoff = 8.5;
-  config.dt = 2.0;
-  config.threads = 2;
-  config.terms.lj = true;
-  config.terms.ewald_real = true;  // the PME short-range component (§2.1)
-  config.terms.ewald_beta = 0.3;
+  engine::EngineSpec spec;
+  spec.engine = "functional";
+  spec.threads = 2;
+  spec.terms.lj = true;
+  spec.terms.ewald_real = true;  // the PME short-range component (§2.1)
+  spec.terms.ewald_beta = 0.3;
 
-  md::FunctionalEngine engine(state, ff, config);
-  md::XyzWriter writer(out_path, ff);
-  writer.write(state, "step=0");
-
-  const double e0 = engine.total_energy();
+  auto engine = engine::Registry::instance().create(state, ff, spec);
   std::printf("molten NaCl: %zu ions, LJ + Ewald real-space (beta=%.2f)\n",
-              state.size(), config.terms.ewald_beta);
-  std::printf("%8s %14s %10s\n", "step", "E (internal)", "T (K)");
-  for (int done = 0; done < steps;) {
-    engine.step(100);
-    done += 100;
-    const auto snapshot = engine.state();
-    writer.write(snapshot, "step=" + std::to_string(done));
-    std::printf("%8d %14.6f %10.1f\n", done, engine.total_energy(),
-                md::temperature(snapshot, ff));
-  }
+              state.size(), spec.terms.ewald_beta);
+
+  engine::EnergyTablePrinter table;
+  engine::XyzObserver xyz(out_path, ff);
+  const auto result = engine::run(*engine, steps, 100, {&table, &xyz});
+
   std::printf("energy drift: %.2e (relative)\n",
-              std::abs(engine.total_energy() - e0) / std::abs(e0));
+              std::abs(result.final_energies.total - result.initial.total) /
+                  std::abs(result.initial.total));
   std::printf("trajectory  : %s (%d frames)\n", out_path.c_str(),
-              writer.frames_written());
+              xyz.frames_written());
 
   // Unlike-ion structure: g(r) for Na-Cl peaks at contact, Na-Na is pushed
   // outward by the Coulomb repulsion.
-  const auto final_state = engine.state();
+  const auto final_state = engine->state();
   const auto na_cl = md::radial_distribution(final_state, 8.0, 32, 0, 1);
   const auto na_na = md::radial_distribution(final_state, 8.0, 32, 0, 0);
   std::printf("\n%6s %10s %10s\n", "r (A)", "g(Na-Cl)", "g(Na-Na)");

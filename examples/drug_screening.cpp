@@ -4,36 +4,28 @@
 // scaling regime where FASDA's 8-FPGA configuration beats GPUs.
 //
 // This example screens an ensemble of candidate systems (different seeds
-// and temperatures standing in for different ligand poses): each candidate
-// is equilibrated with velocity rescaling, run for a scoring window using
-// the FASDA numerics (FunctionalEngine — bit-faithful to the hardware, fast
-// on a CPU), and scored by its mean potential energy. The projected
-// wall-clock per candidate on the 8-FPGA variant C cluster is measured once
-// with the cycle-level simulator.
+// and temperatures standing in for different ligand poses) as a batched
+// engine::BatchRunner workload: every candidate is an independent replica
+// (equilibration with velocity rescaling, then a scoring window using the
+// FASDA numerics), and replicas run concurrently on the shared thread
+// pool. The screen executes twice — sequentially (1 worker) and batched
+// (all cores) — and verifies the per-candidate results are bitwise
+// identical, the BatchRunner determinism contract. The projected
+// wall-clock per candidate on the 8-FPGA variant C cluster is measured
+// once with the cycle-level engine.
 //
 //   ./drug_screening [--candidates N] [--steps N]
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
-#include <optional>
 #include <vector>
 
-#include "fasda/core/simulation.hpp"
+#include "fasda/engine/batch_runner.hpp"
 #include "fasda/md/analysis.hpp"
 #include "fasda/md/dataset.hpp"
-#include "fasda/md/functional_engine.hpp"
 #include "fasda/md/units.hpp"
 #include "fasda/util/cli.hpp"
-
-namespace {
-
-struct Candidate {
-  std::uint64_t seed;
-  double temperature;
-  double score = 0.0;  ///< mean potential energy over the scoring window
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fasda;
@@ -42,76 +34,99 @@ int main(int argc, char** argv) {
   const int steps = static_cast<int>(cli.get_or("steps", 100L));
 
   const md::ForceField ff = md::ForceField::sodium();
-  std::vector<Candidate> candidates;
+
+  // One BatchJob per candidate: the body equilibrates (velocity rescaling
+  // every 25 steps, re-importing the rescaled state), then scores by mean
+  // potential energy over the production window.
+  std::vector<engine::BatchJob> jobs;
   for (int i = 0; i < num_candidates; ++i) {
-    candidates.push_back(
-        {0x1000 + static_cast<std::uint64_t>(i), 280.0 + 10.0 * (i % 4)});
+    const double temperature = 280.0 + 10.0 * (i % 4);
+    engine::BatchJob job;
+    job.label = std::to_string(0x1000 + i);
+    md::DatasetParams params;
+    params.particles_per_cell = 64;
+    params.seed = 0x1000 + static_cast<std::uint64_t>(i);
+    params.temperature = temperature;
+    job.state = md::generate_dataset({3, 3, 3}, 8.5, ff, params);
+    job.ff = ff;
+    job.spec.engine = "functional";
+    job.body = [temperature, steps](engine::ReplicaContext& ctx) {
+      for (int block = 0; block < 4; ++block) {
+        ctx.engine().step(25);
+        auto snapshot = ctx.engine().state();
+        md::rescale_to_temperature(snapshot, ctx.job().ff, temperature);
+        ctx.rebuild(snapshot);
+      }
+      double pe_sum = 0.0;
+      int samples = 0;
+      for (int done = 0; done < steps; done += 50) {
+        ctx.engine().step(std::min(50, steps - done));
+        pe_sum += ctx.engine().potential_energy();
+        ++samples;
+      }
+      return md::units::to_kcal_per_mol(pe_sum / samples) /
+             static_cast<double>(ctx.job().state.size());
+    };
+    jobs.push_back(std::move(job));
   }
 
   std::printf("screening %d candidates, %d production steps each\n\n",
               num_candidates, steps);
+
+  // Sequential baseline, then the batched screen on all cores.
+  engine::BatchRunner sequential(1);
+  const auto seq = sequential.run(jobs);
+  engine::BatchRunner batched(0);
+  const auto par = batched.run(jobs);
+
   std::printf("%-10s %8s %16s %14s\n", "candidate", "T (K)", "score (kcal/mol)",
-              "drift (rel)");
-
-  for (auto& c : candidates) {
-    md::DatasetParams params;
-    params.particles_per_cell = 64;
-    params.seed = c.seed;
-    params.temperature = c.temperature;
-    auto state = md::generate_dataset({3, 3, 3}, 8.5, ff, params);
-
-    // Equilibrate: a short run with velocity rescaling every 25 steps.
-    md::FunctionalConfig config;
-    config.cutoff = 8.5;
-    config.dt = 2.0;
-    config.threads = 2;
-    std::optional<md::FunctionalEngine> engine_slot;
-    engine_slot.emplace(state, ff, config);
-    for (int block = 0; block < 4; ++block) {
-      engine_slot->step(25);
-      auto snapshot = engine_slot->state();
-      md::rescale_to_temperature(snapshot, ff, c.temperature);
-      engine_slot.emplace(snapshot, ff, config);
+              "E total");
+  for (int i = 0; i < num_candidates; ++i) {
+    const auto& r = par.replicas[i];
+    if (!r.ok) {
+      std::printf("%-10s failed: %s\n", r.label.c_str(), r.error.c_str());
+      return 1;
     }
-    md::FunctionalEngine& engine = *engine_slot;
-
-    // Production: score = mean potential energy; drift sanity-checks Δt.
-    const double e0 = engine.total_energy();
-    double pe_sum = 0.0;
-    int samples = 0;
-    for (int done = 0; done < steps; done += 50) {
-      engine.step(std::min(50, steps - done));
-      pe_sum += engine.potential_energy();
-      ++samples;
-    }
-    c.score = md::units::to_kcal_per_mol(pe_sum / samples) /
-              static_cast<double>(engine.size());
-    const double drift = std::abs(engine.total_energy() - e0) / std::abs(e0);
-    std::printf("%-10llu %8.0f %16.4f %14.2e\n",
-                static_cast<unsigned long long>(c.seed), c.temperature, c.score,
-                drift);
+    std::printf("%-10s %8.0f %16.4f %14.6g\n", r.label.c_str(),
+                280.0 + 10.0 * (i % 4), r.score, r.final_energies.total);
   }
 
+  // The determinism contract: per-candidate results must not depend on the
+  // worker count.
+  bool identical = true;
+  for (int i = 0; i < num_candidates; ++i) {
+    identical = identical && seq.replicas[i].ok && par.replicas[i].ok &&
+                seq.replicas[i].score == par.replicas[i].score &&
+                seq.replicas[i].final_energies.total ==
+                    par.replicas[i].final_energies.total;
+  }
+  std::printf("\nsequential: %.2f s | batched (%zu workers): %.2f s | "
+              "speedup %.2fx | %.0f replicas/hour\n",
+              seq.wall_seconds, par.workers, par.wall_seconds,
+              seq.wall_seconds / par.wall_seconds, par.replicas_per_hour);
+  std::printf("per-candidate results bitwise-identical across worker counts: %s\n",
+              identical ? "yes" : "NO");
+  if (!identical) return 1;
+
   const auto best = std::min_element(
-      candidates.begin(), candidates.end(),
-      [](const Candidate& a, const Candidate& b) { return a.score < b.score; });
-  std::printf("\nbest candidate by mean PE: seed %llu\n",
-              static_cast<unsigned long long>(best->seed));
+      par.replicas.begin(), par.replicas.end(),
+      [](const auto& a, const auto& b) { return a.score < b.score; });
+  std::printf("best candidate by mean PE: seed %s\n", best->label.c_str());
 
   // Projected turnaround on the hardware: variant C, 8 FPGAs (§5.2's
-  // strongest configuration), measured by the cycle-level simulator.
+  // strongest configuration), measured by the cycle-level engine.
   md::DatasetParams params;
   params.particles_per_cell = 64;
-  params.seed = best->seed;
+  params.seed = static_cast<std::uint64_t>(std::stoll(best->label));
   const auto state = md::generate_dataset({4, 4, 4}, 8.5, ff, params);
-  core::ClusterConfig cluster;
-  cluster.node_dims = {2, 2, 2};
-  cluster.cells_per_node = {2, 2, 2};
+  engine::EngineSpec cluster;
+  cluster.engine = "cycle";
+  cluster.cells_per_node = geom::IVec3{2, 2, 2};
   cluster.pes_per_spe = 3;
   cluster.spes = 2;
-  core::Simulation sim(state, ff, cluster);
-  sim.run(2);
-  const double rate = sim.microseconds_per_day();  // µs of MD per day
+  auto sim = engine::Registry::instance().create(state, ff, cluster);
+  sim->step(2);
+  const double rate = sim->metrics().microseconds_per_day;
   const double us_per_candidate = 10.0;  // a long-timescale scoring run
   const double days = us_per_candidate / rate;
   std::printf(

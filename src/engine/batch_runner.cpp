@@ -1,0 +1,80 @@
+#include "fasda/engine/batch_runner.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "fasda/util/stopwatch.hpp"
+
+namespace fasda::engine {
+
+ReplicaContext::ReplicaContext(const BatchJob& job, const Registry& registry)
+    : job_(job),
+      registry_(registry),
+      engine_(registry.create(job.state, job.ff, job.spec)) {}
+
+void ReplicaContext::rebuild(const md::SystemState& state) {
+  steps_before_rebuilds_ += engine_->metrics().steps_completed;
+  engine_ = registry_.create(state, job_.ff, job_.spec);
+}
+
+BatchRunner::BatchRunner(std::size_t workers, const Registry& registry)
+    : registry_(registry),
+      pool_(workers ? workers : std::thread::hardware_concurrency()) {}
+
+BatchReport BatchRunner::run(const std::vector<BatchJob>& jobs) {
+  BatchReport report;
+  report.workers = pool_.size();
+  report.replicas.resize(jobs.size());
+
+  util::Stopwatch wall;
+  // Each replica writes only its own pre-sized slot, and its result is a
+  // pure function of its job — worker count cannot change any result.
+  pool_.parallel_for(jobs.size(), [&](std::size_t, std::size_t begin,
+                                      std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const BatchJob& job = jobs[i];
+      ReplicaResult& out = report.replicas[i];
+      out.label = job.label;
+      util::Stopwatch replica_wall;
+      try {
+        ReplicaContext ctx(job, registry_);
+        if (job.body) {
+          out.score = job.body(ctx);
+        } else {
+          ctx.engine().step(job.steps);
+          out.score = ctx.engine().total_energy();
+        }
+        Engine& engine = ctx.engine();
+        out.final_energies = engine.energies();
+        out.final_state = engine.state();
+        out.steps = ctx.total_steps();
+        out.simulated_us = static_cast<double>(out.steps) * job.spec.dt * 1e-9;
+        out.ok = true;
+      } catch (const std::exception& e) {
+        out.ok = false;
+        out.error = e.what();
+      }
+      out.seconds = replica_wall.seconds();
+    }
+  });
+  report.wall_seconds = wall.seconds();
+
+  double us_per_day_sum = 0;
+  std::size_t ok_count = 0;
+  for (const ReplicaResult& r : report.replicas) {
+    if (!r.ok) continue;
+    ++ok_count;
+    report.simulated_us += r.simulated_us;
+    if (r.seconds > 0) us_per_day_sum += r.simulated_us / (r.seconds / 86400.0);
+  }
+  if (report.wall_seconds > 0) {
+    report.replicas_per_hour =
+        static_cast<double>(ok_count) / (report.wall_seconds / 3600.0);
+  }
+  if (ok_count > 0) {
+    report.us_per_day_per_replica = us_per_day_sum / static_cast<double>(ok_count);
+  }
+  return report;
+}
+
+}  // namespace fasda::engine

@@ -1,0 +1,107 @@
+#pragma once
+// BatchRunner: N independent replicas (distinct seeds, datasets, force
+// fields, even back ends) run concurrently on a shared util::ThreadPool.
+// This is the throughput half of the ROADMAP's "sharding, batching, async"
+// — the ensemble/screening regime where FASDA's strong-scaling argument
+// lives (many small systems, time-to-solution per candidate).
+//
+// Determinism contract: each replica is a pure function of its BatchJob —
+// no replica reads another's state, results land in a pre-sized slot by
+// index — so per-replica results are identical for any worker count
+// (the same discipline DESIGN.md §8 established for the cycle scheduler).
+// Only the wall-clock aggregates vary with workers.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fasda/engine/registry.hpp"
+#include "fasda/util/thread_pool.hpp"
+
+namespace fasda::engine {
+
+class ReplicaContext;
+
+/// One independent work unit: a state, a force field, the engine spec to
+/// build over them, and either a default run (`steps` timesteps, score =
+/// final total energy) or a custom `body` (equilibration protocols,
+/// scoring windows, anything that drives the Engine).
+struct BatchJob {
+  std::string label;
+  md::SystemState state;
+  md::ForceField ff;
+  EngineSpec spec;
+  int steps = 0;
+  /// Optional custom replica body; returns the replica's score.
+  std::function<double(ReplicaContext&)> body;
+};
+
+/// Handed to a custom body: the live engine plus the ability to rebuild it
+/// over a modified state (velocity rescaling between equilibration blocks,
+/// restarts — anything that must re-import coordinates).
+class ReplicaContext {
+ public:
+  ReplicaContext(const BatchJob& job, const Registry& registry);
+
+  Engine& engine() { return *engine_; }
+  const BatchJob& job() const { return job_; }
+
+  /// Recreates the engine (same spec) over `state`.
+  void rebuild(const md::SystemState& state);
+
+  /// Timesteps advanced across every engine this replica has built.
+  long long total_steps() const {
+    return steps_before_rebuilds_ + engine_->metrics().steps_completed;
+  }
+
+ private:
+  const BatchJob& job_;
+  const Registry& registry_;
+  std::unique_ptr<Engine> engine_;
+  long long steps_before_rebuilds_ = 0;
+};
+
+struct ReplicaResult {
+  std::string label;
+  bool ok = false;
+  std::string error;  ///< exception text when !ok
+  double score = 0;
+  Energies final_energies;
+  md::SystemState final_state;
+  long long steps = 0;      ///< timesteps the replica's engine advanced
+  double seconds = 0;       ///< replica wall time
+  double simulated_us = 0;  ///< steps × dt, in µs of MD
+};
+
+struct BatchReport {
+  std::vector<ReplicaResult> replicas;  ///< same order as the jobs
+  std::size_t workers = 1;
+  double wall_seconds = 0;
+
+  // Aggregate throughput.
+  double replicas_per_hour = 0;
+  double simulated_us = 0;            ///< total µs of MD across replicas
+  double us_per_day_per_replica = 0;  ///< mean per-replica Fig. 16 metric
+};
+
+class BatchRunner {
+ public:
+  /// `workers` = 0 picks hardware_concurrency. The pool is created once and
+  /// shared by every run() call.
+  explicit BatchRunner(std::size_t workers = 0,
+                       const Registry& registry = Registry::instance());
+
+  std::size_t workers() const { return pool_.size(); }
+
+  /// Runs every job to completion; a replica that throws is reported with
+  /// ok = false and does not disturb the others.
+  BatchReport run(const std::vector<BatchJob>& jobs);
+
+ private:
+  const Registry& registry_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace fasda::engine

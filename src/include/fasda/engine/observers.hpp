@@ -1,0 +1,86 @@
+#pragma once
+// StepObserver: the sampling hook that replaces the copy-pasted
+// energy-print / XYZ-dump / checkpoint loops the tool and examples used to
+// carry. engine::run() drives an Engine in sample-sized blocks and fans
+// each snapshot out to the observers; the built-ins below cover the three
+// things every driver did by hand.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fasda/engine/engine.hpp"
+#include "fasda/md/xyz_io.hpp"
+
+namespace fasda::engine {
+
+/// Receives every sampled snapshot of a run, including the initial one
+/// (step 0) before any stepping.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+
+  virtual void on_sample(int step, const md::SystemState& state,
+                         const Energies& energies) = 0;
+
+  /// Called once after the last step of engine::run().
+  virtual void on_finish(int /*steps*/, Engine& /*engine*/) {}
+};
+
+struct RunResult {
+  int steps = 0;
+  double wall_seconds = 0;
+  Energies initial;
+  Energies final_energies;
+};
+
+/// Steps `engine` for `steps` timesteps in blocks of `sample_every`
+/// (clamped to the remainder; <= 0 means a single block), sampling the
+/// state + energies at step 0 and after every block. The last sample is
+/// always the final configuration.
+RunResult run(Engine& engine, int steps, int sample_every,
+              const std::vector<StepObserver*>& observers);
+
+/// Prints the classic "step / E total / T" table.
+class EnergyTablePrinter final : public StepObserver {
+ public:
+  explicit EnergyTablePrinter(std::FILE* out = stdout);
+  void on_sample(int step, const md::SystemState& state,
+                 const Energies& energies) override;
+
+ private:
+  std::FILE* out_;
+  bool header_printed_ = false;
+};
+
+/// Writes one extended-XYZ frame per sample ("step=N" in the comment).
+class XyzObserver final : public StepObserver {
+ public:
+  XyzObserver(const std::string& path, const md::ForceField& ff);
+  void on_sample(int step, const md::SystemState& state,
+                 const Energies& energies) override;
+  int frames_written() const { return writer_.frames_written(); }
+
+ private:
+  md::XyzWriter writer_;
+};
+
+/// Remembers the most recent sample and saves it as a binary checkpoint on
+/// finish — because the final sample is always the final configuration,
+/// the file restarts the run exactly where it ended.
+class CheckpointObserver final : public StepObserver {
+ public:
+  explicit CheckpointObserver(std::string path);
+  void on_sample(int step, const md::SystemState& state,
+                 const Energies& energies) override;
+  void on_finish(int steps, Engine& engine) override;
+
+  const std::optional<md::SystemState>& last_state() const { return last_; }
+
+ private:
+  std::string path_;
+  std::optional<md::SystemState> last_;
+};
+
+}  // namespace fasda::engine

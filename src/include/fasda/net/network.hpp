@@ -26,6 +26,7 @@
 // same-cycle traffic — the property that makes parallel ticking bitwise
 // identical to serial.
 
+#include <algorithm>
 #include <array>
 #include <deque>
 #include <functional>
@@ -124,30 +125,45 @@ class Endpoint {
 
   /// Ends the stream towards every peer in `peers`: flushes partial packets
   /// and guarantees each peer receives exactly one packet with last=true
-  /// (an empty header-only packet if nothing else is pending).
+  /// for THIS stream (an empty header-only packet if nothing else is
+  /// pending). Packing buffers are released afterwards, so peers a node
+  /// stops talking to cost nothing across the rest of the run.
   void flush_last(const std::vector<NodeId>& peers) {
+    // Peers whose newest queued packet still needs finding after the flush.
+    std::vector<NodeId> untagged;
     for (const NodeId dst : peers) {
       auto it = packing_.find(dst);
       if (it != packing_.end() && it->second.count > 0) {
+        it->second.last = true;  // the flushed partial is the stream's end
         ready_.push_back(it->second);
-        it->second = Packet<R>{};
+      } else {
+        untagged.push_back(dst);
       }
-      // Tag the final queued packet for dst, or queue an empty one.
-      bool tagged = false;
-      for (auto rit = ready_.rbegin(); rit != ready_.rend(); ++rit) {
-        if (rit->dst == dst) {
-          rit->last = true;
-          tagged = true;
-          break;
-        }
-      }
-      if (!tagged) {
-        Packet<R> p;
-        p.src = self_;
-        p.dst = dst;
-        p.last = true;
-        ready_.push_back(p);
-      }
+      if (it != packing_.end()) packing_.erase(it);
+    }
+    // One reverse scan over ready_ (not one per peer) finds each remaining
+    // peer's newest queued packet. If that packet already closes an earlier
+    // stream — possible when a slow link leaves the previous stream's end
+    // undelivered — the peer gets a fresh header-only last packet so every
+    // flush_last yields exactly one last event.
+    std::vector<NodeId> needs_empty;
+    for (auto rit = ready_.rbegin(); rit != ready_.rend() && !untagged.empty();
+         ++rit) {
+      auto found = std::find(untagged.begin(), untagged.end(), rit->dst);
+      if (found == untagged.end()) continue;
+      untagged.erase(found);
+      if (!rit->last) rit->last = true;
+      else needs_empty.push_back(rit->dst);
+    }
+    // Peers with nothing queued (and peers whose newest packet was already a
+    // stream end) get the empty header-only last packet.
+    untagged.insert(untagged.end(), needs_empty.begin(), needs_empty.end());
+    for (const NodeId dst : untagged) {
+      Packet<R> p;
+      p.src = self_;
+      p.dst = dst;
+      p.last = true;
+      ready_.push_back(p);
     }
   }
 
@@ -168,6 +184,11 @@ class Endpoint {
     }
     return false;
   }
+
+  /// Packing buffers (encapsulator register sets) currently allocated;
+  /// flush_last releases a stream's buffers, so this tracks only the peers
+  /// with an open stream.
+  std::size_t packing_buffer_count() const { return packing_.size(); }
 
   // ---- ingress ----
 

@@ -7,7 +7,15 @@
 #include <string_view>
 #include <vector>
 
+#include "fasda/geom/vec3.hpp"
+
 namespace fasda::util {
+
+/// Parses a grid/config dimension triple: either the artifact's 3-digit
+/// shorthand ("444" → 4×4×4) or the general "XxYxZ" form ("12x4x4"),
+/// which is the only way to express axes ≥ 10 cells. Every component must
+/// be ≥ 1; throws std::invalid_argument otherwise.
+geom::IVec3 parse_dims(std::string_view s);
 
 class Cli {
  public:

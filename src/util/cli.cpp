@@ -1,8 +1,54 @@
 #include "fasda/util/cli.hpp"
 
 #include <cstdlib>
+#include <stdexcept>
 
 namespace fasda::util {
+
+namespace {
+
+int parse_axis(std::string_view s) {
+  if (s.empty() || s.size() > 9) {
+    throw std::invalid_argument("parse_dims: bad axis '" + std::string(s) + "'");
+  }
+  int v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("parse_dims: bad axis '" + std::string(s) +
+                                  "'");
+    }
+    v = v * 10 + (c - '0');
+  }
+  if (v < 1) {
+    throw std::invalid_argument("parse_dims: axes must be >= 1, got '" +
+                                std::string(s) + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+geom::IVec3 parse_dims(std::string_view s) {
+  if (s.find('x') != std::string_view::npos) {
+    const auto first = s.find('x');
+    const auto second = s.find('x', first + 1);
+    if (second == std::string_view::npos ||
+        s.find('x', second + 1) != std::string_view::npos) {
+      throw std::invalid_argument("parse_dims: expected XxYxZ, got '" +
+                                  std::string(s) + "'");
+    }
+    return {parse_axis(s.substr(0, first)),
+            parse_axis(s.substr(first + 1, second - first - 1)),
+            parse_axis(s.substr(second + 1))};
+  }
+  if (s.size() != 3) {
+    throw std::invalid_argument(
+        "parse_dims: expected 3 digits (e.g. 444) or XxYxZ (e.g. 12x4x4), "
+        "got '" + std::string(s) + "'");
+  }
+  return {parse_axis(s.substr(0, 1)), parse_axis(s.substr(1, 1)),
+          parse_axis(s.substr(2, 1))};
+}
 
 Cli::Cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "fasda/core/simulation.hpp"
+#include "fasda/engine/registry.hpp"
 #include "fasda/md/dataset.hpp"
 #include "fasda/md/energy.hpp"
 #include "fasda/md/functional_engine.hpp"
@@ -34,14 +35,42 @@ ClusterConfig eight_nodes() {
   return c;
 }
 
-double worst_force_error(const std::vector<geom::Vec3f>& got,
-                         const std::vector<geom::Vec3f>& want) {
+double worst_force_error(const std::vector<geom::Vec3d>& got,
+                         const std::vector<geom::Vec3d>& want) {
   double worst = 0.0, scale = 0.0;
   for (std::size_t i = 0; i < want.size(); ++i) {
-    worst = std::max(worst, (got[i].cast<double>() - want[i].cast<double>()).norm());
-    scale = std::max(scale, want[i].cast<double>().norm());
+    worst = std::max(worst, (got[i] - want[i]).norm());
+    scale = std::max(scale, want[i].norm());
   }
   return scale > 0 ? worst / scale : worst;
+}
+
+// The cross-validation tests drive both machines through the fasda::engine
+// layer — the same interface every production driver uses — so any adapter
+// drift from the underlying numerics would surface here.
+std::unique_ptr<engine::Engine> make_engine(const md::SystemState& state,
+                                            const std::string& name,
+                                            bool eight_node_cluster = false) {
+  engine::EngineSpec spec;
+  spec.engine = name;
+  if (eight_node_cluster) {
+    spec.cells_per_node = geom::IVec3{2, 2, 2};
+    spec.channel.link_latency = 50;  // faster tests; same mechanics
+  }
+  return engine::Registry::instance().create(state, md::ForceField::sodium(),
+                                             spec);
+}
+
+double worst_position_gap(const md::SystemState& reference_grid,
+                          const md::SystemState& got,
+                          const md::SystemState& want) {
+  const auto grid = reference_grid.grid();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    worst = std::max(worst,
+                     grid.min_image(got.positions[i], want.positions[i]).norm());
+  }
+  return worst;
 }
 
 TEST(Simulation, RejectsMismatchedGeometry) {
@@ -55,62 +84,41 @@ TEST(Simulation, RejectsMismatchedGeometry) {
 TEST(Simulation, SingleNodeForcesMatchFunctionalEngine) {
   // The flagship equivalence check: the cycle-level machine (rings, filters,
   // pipelines, retirement) must produce the same forces as the functional
-  // model of the same numerics, pair for pair.
+  // model of the same numerics, pair for pair. After step(1) both engines
+  // report the forces evaluated on the identical initial configuration.
   const auto state = make_state({3, 3, 3});
-  const auto ff = md::ForceField::sodium();
-  Simulation sim(state, ff, single_node());
-  sim.run(1);
+  auto cycle = make_engine(state, "cycle");
+  auto golden = make_engine(state, "functional");
+  cycle->step(1);
+  golden->step(1);
 
-  md::FunctionalConfig fc;
-  fc.cutoff = 8.5;
-  fc.dt = 2.0;
-  md::FunctionalEngine golden(state, ff, fc);
-  golden.evaluate_forces();
-
-  const double err =
-      worst_force_error(sim.forces_by_particle(), golden.forces_by_particle());
+  const double err = worst_force_error(cycle->forces_by_particle(),
+                                       golden->forces_by_particle());
   EXPECT_LT(err, 1e-5) << "same pairs, same tables; only float summation "
                           "order differs";
 }
 
 TEST(Simulation, SingleNodePositionsTrackFunctionalEngine) {
   const auto state = make_state({3, 3, 3});
-  const auto ff = md::ForceField::sodium();
-  Simulation sim(state, ff, single_node());
-  md::FunctionalConfig fc;
-  fc.cutoff = 8.5;
-  fc.dt = 2.0;
-  md::FunctionalEngine golden(state, ff, fc);
-
-  sim.run(5);
-  golden.step(5);
-  const auto got = sim.state();
-  const auto want = golden.state();
-  const auto grid = state.grid();
-  double worst = 0.0;
-  for (std::size_t i = 0; i < state.size(); ++i) {
-    worst = std::max(worst,
-                     grid.min_image(got.positions[i], want.positions[i]).norm());
-  }
-  EXPECT_LT(worst, 1e-4);  // Å after 5 steps
+  auto cycle = make_engine(state, "cycle");
+  auto golden = make_engine(state, "functional");
+  cycle->step(5);
+  golden->step(5);
+  EXPECT_LT(worst_position_gap(state, cycle->state(), golden->state()),
+            1e-4);  // Å after 5 steps
 }
 
 TEST(Simulation, MultiNodeForcesMatchFunctionalEngine) {
   // Same check across 8 FPGAs: exercises GCID→LCID conversion, P2R/F2R
   // packets, EX injection, and chained sync end to end.
   const auto state = make_state({4, 4, 4});
-  const auto ff = md::ForceField::sodium();
-  Simulation sim(state, ff, eight_nodes());
-  sim.run(1);
+  auto cycle = make_engine(state, "cycle", /*eight_node_cluster=*/true);
+  auto golden = make_engine(state, "functional");
+  cycle->step(1);
+  golden->step(1);
 
-  md::FunctionalConfig fc;
-  fc.cutoff = 8.5;
-  fc.dt = 2.0;
-  md::FunctionalEngine golden(state, ff, fc);
-  golden.evaluate_forces();
-
-  const double err =
-      worst_force_error(sim.forces_by_particle(), golden.forces_by_particle());
+  const double err = worst_force_error(cycle->forces_by_particle(),
+                                       golden->forces_by_particle());
   EXPECT_LT(err, 1e-5);
 }
 
@@ -120,23 +128,11 @@ TEST(Simulation, MultiNodeTrajectoryMatchesSingleNode) {
   // cells_per_node must tile node_dims, so compare against the functional
   // engine after several steps).
   const auto state = make_state({4, 4, 4}, 12);
-  const auto ff = md::ForceField::sodium();
-  Simulation sim(state, ff, eight_nodes());
-  md::FunctionalConfig fc;
-  fc.cutoff = 8.5;
-  fc.dt = 2.0;
-  md::FunctionalEngine golden(state, ff, fc);
-  sim.run(5);
-  golden.step(5);
-  const auto got = sim.state();
-  const auto want = golden.state();
-  const auto grid = state.grid();
-  double worst = 0.0;
-  for (std::size_t i = 0; i < state.size(); ++i) {
-    worst = std::max(worst,
-                     grid.min_image(got.positions[i], want.positions[i]).norm());
-  }
-  EXPECT_LT(worst, 1e-4);
+  auto cycle = make_engine(state, "cycle", /*eight_node_cluster=*/true);
+  auto golden = make_engine(state, "functional");
+  cycle->step(5);
+  golden->step(5);
+  EXPECT_LT(worst_position_gap(state, cycle->state(), golden->state()), 1e-4);
 }
 
 TEST(Simulation, PairCountMatchesReference) {

@@ -145,6 +145,61 @@ TEST(Endpoint, IngressPendingTracksInFlightWork) {
   EXPECT_FALSE(net.b.ingress_pending());
 }
 
+TEST(Endpoint, FlushReleasesPackingBuffers) {
+  TwoNodes net;
+  sim::Cycle now = 0;
+  EXPECT_EQ(net.a.packing_buffer_count(), 0u);
+  net.a.enqueue(1, record(0));  // opens the dst-1 packing buffer
+  EXPECT_EQ(net.a.packing_buffer_count(), 1u);
+  net.a.flush_last({1});
+  EXPECT_EQ(net.a.packing_buffer_count(), 0u)
+      << "flush_last must release the stream's encapsulator registers";
+  // Flushing with an empty (never-opened) buffer allocates nothing either.
+  net.a.flush_last({1});
+  EXPECT_EQ(net.a.packing_buffer_count(), 0u);
+  net.pump(now, 40);
+  // A full-and-cleared buffer also does not linger.
+  for (int i = 0; i < 4; ++i) net.a.enqueue(1, record(i));
+  net.a.flush_last({1});
+  EXPECT_EQ(net.a.packing_buffer_count(), 0u);
+}
+
+TEST(Endpoint, FlushWithEmptyBufferStillSignalsLast) {
+  TwoNodes net;
+  sim::Cycle now = 0;
+  net.a.enqueue(1, record(0));
+  net.a.flush_last({1});  // partial packet, tagged last
+  net.a.flush_last({1});  // nothing pending: must queue an empty last packet
+  net.pump(now, 40);
+  int last_events = 0;
+  for (sim::Cycle t = 0; t < 80; ++t) {
+    net.b.poll_record(t);
+    last_events += static_cast<int>(net.b.take_last_events().size());
+  }
+  EXPECT_EQ(last_events, 2) << "each flush_last is its own stream boundary";
+  EXPECT_EQ(net.fabric.traffic().total_packets, 2u);
+}
+
+TEST(Endpoint, RepeatedStreamReuse) {
+  // Three streams back to back without draining in between: every stream
+  // boundary must survive, and the packing map must not grow.
+  TwoNodes net;
+  sim::Cycle now = 0;
+  for (int stream = 0; stream < 3; ++stream) {
+    for (int i = 0; i < 5; ++i) net.a.enqueue(1, record(stream * 5 + i));
+    net.a.flush_last({1});
+    EXPECT_EQ(net.a.packing_buffer_count(), 0u);
+  }
+  net.pump(now, 80);
+  int records = 0, last_events = 0;
+  for (sim::Cycle t = 0; t < 200; ++t) {
+    if (net.b.poll_record(t)) ++records;
+    last_events += static_cast<int>(net.b.take_last_events().size());
+  }
+  EXPECT_EQ(records, 15);
+  EXPECT_EQ(last_events, 3);
+}
+
 TEST(Fabric, TrafficMatrixPerPair) {
   ChannelConfig config = fast_config();
   Fabric<FrcRecord> fabric(config);

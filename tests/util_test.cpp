@@ -200,5 +200,36 @@ TEST(Cli, ParsesDoubles) {
   EXPECT_DOUBLE_EQ(cli.get_or("y", 1.25), 1.25);
 }
 
+TEST(ParseDims, ThreeDigitShorthand) {
+  EXPECT_EQ(parse_dims("444"), (geom::IVec3{4, 4, 4}));
+  EXPECT_EQ(parse_dims("123"), (geom::IVec3{1, 2, 3}));
+  EXPECT_EQ(parse_dims("999"), (geom::IVec3{9, 9, 9}));
+}
+
+TEST(ParseDims, ExplicitTriple) {
+  EXPECT_EQ(parse_dims("12x4x4"), (geom::IVec3{12, 4, 4}));
+  EXPECT_EQ(parse_dims("2x10x3"), (geom::IVec3{2, 10, 3}));
+  EXPECT_EQ(parse_dims("1x1x1"), (geom::IVec3{1, 1, 1}));
+  EXPECT_EQ(parse_dims("128x64x32"), (geom::IVec3{128, 64, 32}));
+}
+
+TEST(ParseDims, RejectsMalformedInput) {
+  EXPECT_THROW(parse_dims(""), std::invalid_argument);
+  EXPECT_THROW(parse_dims("44"), std::invalid_argument);
+  EXPECT_THROW(parse_dims("4444"), std::invalid_argument);
+  EXPECT_THROW(parse_dims("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_dims("4x4"), std::invalid_argument);
+  EXPECT_THROW(parse_dims("4x4x4x4"), std::invalid_argument);
+  EXPECT_THROW(parse_dims("4x4x"), std::invalid_argument);
+  EXPECT_THROW(parse_dims("x4x4"), std::invalid_argument);
+  EXPECT_THROW(parse_dims("4x-1x4"), std::invalid_argument);
+  EXPECT_THROW(parse_dims("4x4.5x4"), std::invalid_argument);
+}
+
+TEST(ParseDims, RejectsZeroAxes) {
+  EXPECT_THROW(parse_dims("044"), std::invalid_argument);
+  EXPECT_THROW(parse_dims("4x0x4"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace fasda::util

@@ -1,17 +1,15 @@
-// fasda_md — command-line MD driver over the three engines (the repo's
+// fasda_md — command-line MD driver over the engine registry (the repo's
 // equivalent of the paper artifact's run.py).
 //
-//   fasda_md --engine cycle --space 444 --cells 222 --pes 3 --spes 2
+//   fasda_md --engine cycle --space 4x4x4 --cells 2x2x2 --pes 3 --spes 2
 //            --steps 10 --xyz /tmp/out.xyz
 //
-// Engines:
-//   reference   double-precision multithreaded CPU engine (ground truth)
-//   functional  exact FASDA hardware numerics, no timing (fast)
-//   cycle       the full cycle-level cluster simulation (reports rate,
-//               utilization and traffic like the AXI-Lite counters)
+// --engine selects a back end by registry name; see the README's engine
+// table for what each one computes.
 //
 // Common flags:
-//   --space XYZ        global cells, three digits (default 333)
+//   --space XYZ        global cells: 3-digit shorthand (444) or XxYxZ
+//                      (12x4x4); default 333
 //   --per-cell N       particles per cell (default 64)
 //   --steps N          timesteps (default 10)
 //   --dt FS            timestep in fs (default 2)
@@ -28,118 +26,42 @@
 // Cycle-engine flags:
 //   --cells XYZ        cells per FPGA (default = --space: single node)
 //   --pes N --spes N   strong-scaling variant (defaults 1, 1)
+//   --workers N        cycle-scheduler threads (default 1; 0 = all cores)
 
 #include <cstdio>
 #include <memory>
 #include <optional>
 #include <string>
 
-#include "fasda/core/simulation.hpp"
-#include "fasda/md/analysis.hpp"
+#include "fasda/engine/batch_runner.hpp"
+#include "fasda/engine/observers.hpp"
+#include "fasda/engine/registry.hpp"
 #include "fasda/md/checkpoint.hpp"
 #include "fasda/md/dataset.hpp"
-#include "fasda/md/energy.hpp"
-#include "fasda/md/functional_engine.hpp"
-#include "fasda/md/reference_engine.hpp"
-#include "fasda/md/xyz_io.hpp"
 #include "fasda/util/cli.hpp"
-#include "fasda/util/stopwatch.hpp"
-
-namespace {
-
-using namespace fasda;
-
-geom::IVec3 parse_dims(const std::string& s) {
-  if (s.size() != 3) throw std::invalid_argument("dims must be 3 digits");
-  return {s[0] - '0', s[1] - '0', s[2] - '0'};
-}
-
-/// Uniform stepping interface over the three engines.
-class Runner {
- public:
-  virtual ~Runner() = default;
-  virtual void step(int n) = 0;
-  virtual md::SystemState state() const = 0;
-  virtual void report_extra() const {}
-};
-
-class ReferenceRunner : public Runner {
- public:
-  ReferenceRunner(const md::SystemState& s, const md::ForceField& ff, double dt,
-                  std::size_t threads, md::ForceTerms terms)
-      : engine_(s, ff, s.cell_size, dt, threads, terms) {}
-  void step(int n) override { engine_.step(n); }
-  md::SystemState state() const override { return engine_.state(); }
-
- private:
-  md::ReferenceEngine engine_;
-};
-
-class FunctionalRunner : public Runner {
- public:
-  FunctionalRunner(const md::SystemState& s, const md::ForceField& ff,
-                   double dt, std::size_t threads, md::ForceTerms terms)
-      : engine_(s, ff,
-                [&] {
-                  md::FunctionalConfig c;
-                  c.cutoff = s.cell_size;
-                  c.dt = dt;
-                  c.threads = threads;
-                  c.terms = terms;
-                  return c;
-                }()) {}
-  void step(int n) override { engine_.step(n); }
-  md::SystemState state() const override { return engine_.state(); }
-
- private:
-  md::FunctionalEngine engine_;
-};
-
-class CycleRunner : public Runner {
- public:
-  CycleRunner(const md::SystemState& s, const md::ForceField& ff,
-              const core::ClusterConfig& config)
-      : sim_(s, ff, config) {}
-  void step(int n) override { sim_.run(n); }
-  md::SystemState state() const override { return sim_.state(); }
-  void report_extra() const override {
-    const auto u = sim_.utilization();
-    const auto t = sim_.traffic();
-    std::printf("\ncycle-level counters:\n");
-    std::printf("  total cycles        : %llu\n",
-                static_cast<unsigned long long>(sim_.total_cycles()));
-    std::printf("  simulation rate     : %.2f us/day @ 200 MHz\n",
-                sim_.microseconds_per_day());
-    std::printf("  PE utilization      : %.0f%% hw, %.0f%% time\n",
-                100 * u.pe_hardware, 100 * u.pe_time);
-    std::printf("  packets (pos/frc)   : %llu / %llu\n",
-                static_cast<unsigned long long>(t.positions.total_packets),
-                static_cast<unsigned long long>(t.forces.total_packets));
-  }
-
- private:
-  core::Simulation sim_;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fasda;
   const util::Cli cli(argc, argv);
 
-  const std::string engine_name = cli.get_or("engine", "functional");
-  const geom::IVec3 space = parse_dims(cli.get_or("space", "333"));
+  engine::EngineSpec spec;
+  spec.engine = cli.get_or("engine", "functional");
+  spec.dt = cli.get_or("dt", 2.0);
+  spec.threads = static_cast<std::size_t>(cli.get_or("threads", 1L));
+  spec.terms.ewald_real = cli.has("ewald");
+  if (auto cells = cli.get("cells")) spec.cells_per_node = util::parse_dims(*cells);
+  spec.pes_per_spe = static_cast<int>(cli.get_or("pes", 1L));
+  spec.spes = static_cast<int>(cli.get_or("spes", 1L));
+  spec.num_worker_threads = static_cast<int>(cli.get_or("workers", 1L));
+
+  const geom::IVec3 space = util::parse_dims(cli.get_or("space", "333"));
   const int per_cell = static_cast<int>(cli.get_or("per-cell", 64L));
   const int steps = static_cast<int>(cli.get_or("steps", 10L));
-  const double dt = cli.get_or("dt", 2.0);
   const int sample = static_cast<int>(cli.get_or("sample", 10L));
-  const auto threads = static_cast<std::size_t>(cli.get_or("threads", 1L));
   const std::string ff_name = cli.get_or("forcefield", "na");
 
   const md::ForceField ff = ff_name == "nacl" ? md::ForceField::sodium_chloride()
                                               : md::ForceField::sodium();
-  md::ForceTerms terms;
-  terms.ewald_real = cli.has("ewald");
 
   md::SystemState state;
   if (auto restart = cli.get("restart")) {
@@ -159,65 +81,51 @@ int main(int argc, char** argv) {
     state = md::generate_dataset(space, 8.5, ff, params);
   }
 
-  std::unique_ptr<Runner> runner;
-  if (engine_name == "reference") {
-    runner = std::make_unique<ReferenceRunner>(state, ff, dt, threads, terms);
-  } else if (engine_name == "functional") {
-    runner = std::make_unique<FunctionalRunner>(state, ff, dt, threads, terms);
-  } else if (engine_name == "cycle") {
-    core::ClusterConfig config;
-    config.cells_per_node = parse_dims(
-        cli.get_or("cells", cli.get_or("space", "333")));
-    config.node_dims = {space.x / config.cells_per_node.x,
-                        space.y / config.cells_per_node.y,
-                        space.z / config.cells_per_node.z};
-    config.pes_per_spe = static_cast<int>(cli.get_or("pes", 1L));
-    config.spes = static_cast<int>(cli.get_or("spes", 1L));
-    config.dt = dt;
-    config.terms = terms;
-    runner = std::make_unique<CycleRunner>(state, ff, config);
-  } else {
-    std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
+  std::unique_ptr<engine::Engine> eng;
+  try {
+    eng = engine::Registry::instance().create(state, ff, spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
 
-  std::optional<md::XyzWriter> xyz;
-  if (auto path = cli.get("xyz")) xyz.emplace(*path, ff);
-
   std::printf("fasda_md: %s engine, %zu particles (%dx%dx%d cells), %d steps\n",
-              engine_name.c_str(), state.size(), space.x, space.y, space.z,
+              eng->name().c_str(), state.size(), space.x, space.y, space.z,
               steps);
-  const double e0 =
-      md::compute_potential_energy(state, ff, state.cell_size, terms) +
-      md::kinetic_energy(state, ff);
-  std::printf("%8s %16s %10s\n", "step", "E total", "T (K)");
-  std::printf("%8d %16.8g %10.1f\n", 0, e0, md::temperature(state, ff));
 
-  util::Stopwatch wall;
-  for (int done = 0; done < steps;) {
-    const int block = std::min(sample, steps - done);
-    runner->step(block);
-    done += block;
-    const auto snapshot = runner->state();
-    const double e =
-        md::compute_potential_energy(snapshot, ff, snapshot.cell_size, terms) +
-        md::kinetic_energy(snapshot, ff);
-    std::printf("%8d %16.8g %10.1f\n", done, e, md::temperature(snapshot, ff));
-    if (xyz) xyz->write(snapshot, "step=" + std::to_string(done));
+  engine::EnergyTablePrinter table;
+  std::optional<engine::XyzObserver> xyz;
+  std::optional<engine::CheckpointObserver> checkpoint;
+  std::vector<engine::StepObserver*> observers{&table};
+  if (auto path = cli.get("xyz")) observers.push_back(&xyz.emplace(*path, ff));
+  if (auto path = cli.get("checkpoint")) {
+    observers.push_back(&checkpoint.emplace(*path));
   }
-  std::printf("\nwall time: %.2f s (%.1f ms/step)\n", wall.seconds(),
-              1000.0 * wall.seconds() / steps);
+
+  const engine::RunResult result = engine::run(*eng, steps, sample, observers);
+
+  std::printf("\nwall time: %.2f s (%.1f ms/step)\n", result.wall_seconds,
+              1000.0 * result.wall_seconds / steps);
   std::printf("energy drift: %.3e (relative)\n",
-              std::abs((md::compute_potential_energy(runner->state(), ff,
-                                                     state.cell_size, terms) +
-                        md::kinetic_energy(runner->state(), ff)) -
-                       e0) /
-                  std::abs(e0));
-  runner->report_extra();
+              std::abs(result.final_energies.total - result.initial.total) /
+                  std::abs(result.initial.total));
+
+  const engine::StepMetrics& m = eng->metrics();
+  if (m.has_cycle_counters) {
+    std::printf("\ncycle-level counters:\n");
+    std::printf("  total cycles        : %llu\n",
+                static_cast<unsigned long long>(m.total_cycles));
+    std::printf("  simulation rate     : %.2f us/day @ 200 MHz\n",
+                m.microseconds_per_day);
+    std::printf("  PE utilization      : %.0f%% hw, %.0f%% time\n",
+                100 * m.pe_hardware_utilization, 100 * m.pe_time_utilization);
+    std::printf("  packets (pos/frc)   : %llu / %llu\n",
+                static_cast<unsigned long long>(m.position_packets),
+                static_cast<unsigned long long>(m.force_packets));
+  }
   if (xyz) std::printf("trajectory: %d frames\n", xyz->frames_written());
-  if (auto checkpoint = cli.get("checkpoint")) {
-    md::save_checkpoint(*checkpoint, runner->state());
-    std::printf("checkpoint: %s\n", checkpoint->c_str());
+  if (auto path = cli.get("checkpoint")) {
+    std::printf("checkpoint: %s\n", path->c_str());
   }
   return 0;
 }
