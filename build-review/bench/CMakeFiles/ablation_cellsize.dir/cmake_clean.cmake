@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cellsize.dir/ablation_cellsize.cpp.o"
+  "CMakeFiles/ablation_cellsize.dir/ablation_cellsize.cpp.o.d"
+  "ablation_cellsize"
+  "ablation_cellsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cellsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interp.dir/ablation_interp.cpp.o"
+  "CMakeFiles/ablation_interp.dir/ablation_interp.cpp.o.d"
+  "ablation_interp"
+  "ablation_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

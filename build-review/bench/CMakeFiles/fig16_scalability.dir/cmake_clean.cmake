@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_scalability.dir/fig16_scalability.cpp.o"
+  "CMakeFiles/fig16_scalability.dir/fig16_scalability.cpp.o.d"
+  "fig16_scalability"
+  "fig16_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

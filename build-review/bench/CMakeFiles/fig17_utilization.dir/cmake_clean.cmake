@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_utilization.dir/fig17_utilization.cpp.o"
+  "CMakeFiles/fig17_utilization.dir/fig17_utilization.cpp.o.d"
+  "fig17_utilization"
+  "fig17_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_communication.dir/fig18_communication.cpp.o"
+  "CMakeFiles/fig18_communication.dir/fig18_communication.cpp.o.d"
+  "fig18_communication"
+  "fig18_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for custom_force_model.
+# This may be replaced when dependencies are built.

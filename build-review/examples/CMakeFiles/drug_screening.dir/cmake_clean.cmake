@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drug_screening.dir/drug_screening.cpp.o"
+  "CMakeFiles/drug_screening.dir/drug_screening.cpp.o.d"
+  "drug_screening"
+  "drug_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drug_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

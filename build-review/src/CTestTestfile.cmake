@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("fixed")
+subdirs("interp")
+subdirs("md")
+subdirs("idmap")
+subdirs("sim")
+subdirs("ring")
+subdirs("pe")
+subdirs("cbb")
+subdirs("net")
+subdirs("sync")
+subdirs("fpga")
+subdirs("core")
+subdirs("engine")
+subdirs("model")

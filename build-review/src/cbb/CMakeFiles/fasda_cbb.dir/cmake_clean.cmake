@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasda_cbb.dir/cbb.cpp.o"
+  "CMakeFiles/fasda_cbb.dir/cbb.cpp.o.d"
+  "libfasda_cbb.a"
+  "libfasda_cbb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasda_cbb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasda_core.dir/simulation.cpp.o"
+  "CMakeFiles/fasda_core.dir/simulation.cpp.o.d"
+  "libfasda_core.a"
+  "libfasda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

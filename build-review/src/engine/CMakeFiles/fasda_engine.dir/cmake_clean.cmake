@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasda_engine.dir/batch_runner.cpp.o"
+  "CMakeFiles/fasda_engine.dir/batch_runner.cpp.o.d"
+  "CMakeFiles/fasda_engine.dir/engine.cpp.o"
+  "CMakeFiles/fasda_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/fasda_engine.dir/observers.cpp.o"
+  "CMakeFiles/fasda_engine.dir/observers.cpp.o.d"
+  "CMakeFiles/fasda_engine.dir/registry.cpp.o"
+  "CMakeFiles/fasda_engine.dir/registry.cpp.o.d"
+  "libfasda_engine.a"
+  "libfasda_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasda_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasda_fpga.dir/node.cpp.o"
+  "CMakeFiles/fasda_fpga.dir/node.cpp.o.d"
+  "libfasda_fpga.a"
+  "libfasda_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasda_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

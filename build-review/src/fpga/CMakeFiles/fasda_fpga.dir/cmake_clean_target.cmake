@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfasda_fpga.a"
+)

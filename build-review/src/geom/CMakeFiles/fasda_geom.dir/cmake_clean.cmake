@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasda_geom.dir/cell_grid.cpp.o"
+  "CMakeFiles/fasda_geom.dir/cell_grid.cpp.o.d"
+  "libfasda_geom.a"
+  "libfasda_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasda_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasda_idmap.dir/cell_id_map.cpp.o"
+  "CMakeFiles/fasda_idmap.dir/cell_id_map.cpp.o.d"
+  "libfasda_idmap.a"
+  "libfasda_idmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasda_idmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fasda_idmap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasda_interp.dir/ewald.cpp.o"
+  "CMakeFiles/fasda_interp.dir/ewald.cpp.o.d"
+  "CMakeFiles/fasda_interp.dir/interp_table.cpp.o"
+  "CMakeFiles/fasda_interp.dir/interp_table.cpp.o.d"
+  "libfasda_interp.a"
+  "libfasda_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasda_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/analysis.cpp" "src/md/CMakeFiles/fasda_md.dir/analysis.cpp.o" "gcc" "src/md/CMakeFiles/fasda_md.dir/analysis.cpp.o.d"
+  "/root/repo/src/md/checkpoint.cpp" "src/md/CMakeFiles/fasda_md.dir/checkpoint.cpp.o" "gcc" "src/md/CMakeFiles/fasda_md.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/md/dataset.cpp" "src/md/CMakeFiles/fasda_md.dir/dataset.cpp.o" "gcc" "src/md/CMakeFiles/fasda_md.dir/dataset.cpp.o.d"
+  "/root/repo/src/md/energy.cpp" "src/md/CMakeFiles/fasda_md.dir/energy.cpp.o" "gcc" "src/md/CMakeFiles/fasda_md.dir/energy.cpp.o.d"
+  "/root/repo/src/md/ewald_longrange.cpp" "src/md/CMakeFiles/fasda_md.dir/ewald_longrange.cpp.o" "gcc" "src/md/CMakeFiles/fasda_md.dir/ewald_longrange.cpp.o.d"
+  "/root/repo/src/md/force_field.cpp" "src/md/CMakeFiles/fasda_md.dir/force_field.cpp.o" "gcc" "src/md/CMakeFiles/fasda_md.dir/force_field.cpp.o.d"
+  "/root/repo/src/md/functional_engine.cpp" "src/md/CMakeFiles/fasda_md.dir/functional_engine.cpp.o" "gcc" "src/md/CMakeFiles/fasda_md.dir/functional_engine.cpp.o.d"
+  "/root/repo/src/md/reference_engine.cpp" "src/md/CMakeFiles/fasda_md.dir/reference_engine.cpp.o" "gcc" "src/md/CMakeFiles/fasda_md.dir/reference_engine.cpp.o.d"
+  "/root/repo/src/md/system_state.cpp" "src/md/CMakeFiles/fasda_md.dir/system_state.cpp.o" "gcc" "src/md/CMakeFiles/fasda_md.dir/system_state.cpp.o.d"
+  "/root/repo/src/md/xyz_io.cpp" "src/md/CMakeFiles/fasda_md.dir/xyz_io.cpp.o" "gcc" "src/md/CMakeFiles/fasda_md.dir/xyz_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/geom/CMakeFiles/fasda_geom.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interp/CMakeFiles/fasda_interp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/fasda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasda_md.dir/analysis.cpp.o"
+  "CMakeFiles/fasda_md.dir/analysis.cpp.o.d"
+  "CMakeFiles/fasda_md.dir/checkpoint.cpp.o"
+  "CMakeFiles/fasda_md.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/fasda_md.dir/dataset.cpp.o"
+  "CMakeFiles/fasda_md.dir/dataset.cpp.o.d"
+  "CMakeFiles/fasda_md.dir/energy.cpp.o"
+  "CMakeFiles/fasda_md.dir/energy.cpp.o.d"
+  "CMakeFiles/fasda_md.dir/ewald_longrange.cpp.o"
+  "CMakeFiles/fasda_md.dir/ewald_longrange.cpp.o.d"
+  "CMakeFiles/fasda_md.dir/force_field.cpp.o"
+  "CMakeFiles/fasda_md.dir/force_field.cpp.o.d"
+  "CMakeFiles/fasda_md.dir/functional_engine.cpp.o"
+  "CMakeFiles/fasda_md.dir/functional_engine.cpp.o.d"
+  "CMakeFiles/fasda_md.dir/reference_engine.cpp.o"
+  "CMakeFiles/fasda_md.dir/reference_engine.cpp.o.d"
+  "CMakeFiles/fasda_md.dir/system_state.cpp.o"
+  "CMakeFiles/fasda_md.dir/system_state.cpp.o.d"
+  "CMakeFiles/fasda_md.dir/xyz_io.cpp.o"
+  "CMakeFiles/fasda_md.dir/xyz_io.cpp.o.d"
+  "libfasda_md.a"
+  "libfasda_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasda_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasda_model.dir/perf_models.cpp.o"
+  "CMakeFiles/fasda_model.dir/perf_models.cpp.o.d"
+  "CMakeFiles/fasda_model.dir/resource_model.cpp.o"
+  "CMakeFiles/fasda_model.dir/resource_model.cpp.o.d"
+  "libfasda_model.a"
+  "libfasda_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasda_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pe/force_model.cpp" "src/pe/CMakeFiles/fasda_pe.dir/force_model.cpp.o" "gcc" "src/pe/CMakeFiles/fasda_pe.dir/force_model.cpp.o.d"
+  "/root/repo/src/pe/processing_element.cpp" "src/pe/CMakeFiles/fasda_pe.dir/processing_element.cpp.o" "gcc" "src/pe/CMakeFiles/fasda_pe.dir/processing_element.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/fasda_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interp/CMakeFiles/fasda_interp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/md/CMakeFiles/fasda_md.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/fasda_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geom/CMakeFiles/fasda_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

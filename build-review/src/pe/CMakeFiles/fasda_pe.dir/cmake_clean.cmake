@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasda_pe.dir/force_model.cpp.o"
+  "CMakeFiles/fasda_pe.dir/force_model.cpp.o.d"
+  "CMakeFiles/fasda_pe.dir/processing_element.cpp.o"
+  "CMakeFiles/fasda_pe.dir/processing_element.cpp.o.d"
+  "libfasda_pe.a"
+  "libfasda_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasda_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasda_sim.dir/parallel_scheduler.cpp.o"
+  "CMakeFiles/fasda_sim.dir/parallel_scheduler.cpp.o.d"
+  "libfasda_sim.a"
+  "libfasda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasda_util.dir/cli.cpp.o"
+  "CMakeFiles/fasda_util.dir/cli.cpp.o.d"
+  "CMakeFiles/fasda_util.dir/log.cpp.o"
+  "CMakeFiles/fasda_util.dir/log.cpp.o.d"
+  "CMakeFiles/fasda_util.dir/rng.cpp.o"
+  "CMakeFiles/fasda_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fasda_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fasda_util.dir/thread_pool.cpp.o.d"
+  "libfasda_util.a"
+  "libfasda_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasda_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

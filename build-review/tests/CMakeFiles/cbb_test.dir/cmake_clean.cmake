@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbb_test.dir/cbb_test.cpp.o"
+  "CMakeFiles/cbb_test.dir/cbb_test.cpp.o.d"
+  "cbb_test"
+  "cbb_test.pdb"
+  "cbb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_simulation_test.dir/core_simulation_test.cpp.o"
+  "CMakeFiles/core_simulation_test.dir/core_simulation_test.cpp.o.d"
+  "core_simulation_test"
+  "core_simulation_test.pdb"
+  "core_simulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ewald_longrange_test.dir/ewald_longrange_test.cpp.o"
+  "CMakeFiles/ewald_longrange_test.dir/ewald_longrange_test.cpp.o.d"
+  "ewald_longrange_test"
+  "ewald_longrange_test.pdb"
+  "ewald_longrange_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ewald_longrange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ewald_test.dir/ewald_test.cpp.o"
+  "CMakeFiles/ewald_test.dir/ewald_test.cpp.o.d"
+  "ewald_test"
+  "ewald_test.pdb"
+  "ewald_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ewald_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

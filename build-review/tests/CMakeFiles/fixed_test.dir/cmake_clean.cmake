@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_test.dir/fixed_test.cpp.o"
+  "CMakeFiles/fixed_test.dir/fixed_test.cpp.o.d"
+  "fixed_test"
+  "fixed_test.pdb"
+  "fixed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

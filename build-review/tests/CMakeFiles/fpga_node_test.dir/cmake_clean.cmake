@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_node_test.dir/fpga_node_test.cpp.o"
+  "CMakeFiles/fpga_node_test.dir/fpga_node_test.cpp.o.d"
+  "fpga_node_test"
+  "fpga_node_test.pdb"
+  "fpga_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

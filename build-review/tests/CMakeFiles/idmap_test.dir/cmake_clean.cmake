@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idmap_test.dir/idmap_test.cpp.o"
+  "CMakeFiles/idmap_test.dir/idmap_test.cpp.o.d"
+  "idmap_test"
+  "idmap_test.pdb"
+  "idmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

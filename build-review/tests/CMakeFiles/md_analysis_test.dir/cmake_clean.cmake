@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_analysis_test.dir/md_analysis_test.cpp.o"
+  "CMakeFiles/md_analysis_test.dir/md_analysis_test.cpp.o.d"
+  "md_analysis_test"
+  "md_analysis_test.pdb"
+  "md_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_dataset_test.dir/md_dataset_test.cpp.o"
+  "CMakeFiles/md_dataset_test.dir/md_dataset_test.cpp.o.d"
+  "md_dataset_test"
+  "md_dataset_test.pdb"
+  "md_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/md_forcefield_test.cpp" "tests/CMakeFiles/md_forcefield_test.dir/md_forcefield_test.cpp.o" "gcc" "tests/CMakeFiles/md_forcefield_test.dir/md_forcefield_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/md/CMakeFiles/fasda_md.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geom/CMakeFiles/fasda_geom.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interp/CMakeFiles/fasda_interp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/fasda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_forcefield_test.dir/md_forcefield_test.cpp.o"
+  "CMakeFiles/md_forcefield_test.dir/md_forcefield_test.cpp.o.d"
+  "md_forcefield_test"
+  "md_forcefield_test.pdb"
+  "md_forcefield_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_forcefield_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for md_forcefield_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_reference_engine_test.dir/md_reference_engine_test.cpp.o"
+  "CMakeFiles/md_reference_engine_test.dir/md_reference_engine_test.cpp.o.d"
+  "md_reference_engine_test"
+  "md_reference_engine_test.pdb"
+  "md_reference_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_reference_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for md_reference_engine_test.
+# This may be replaced when dependencies are built.

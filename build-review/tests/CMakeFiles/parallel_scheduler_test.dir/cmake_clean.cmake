@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_scheduler_test.dir/parallel_scheduler_test.cpp.o"
+  "CMakeFiles/parallel_scheduler_test.dir/parallel_scheduler_test.cpp.o.d"
+  "parallel_scheduler_test"
+  "parallel_scheduler_test.pdb"
+  "parallel_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_test.dir/pe_test.cpp.o"
+  "CMakeFiles/pe_test.dir/pe_test.cpp.o.d"
+  "pe_test"
+  "pe_test.pdb"
+  "pe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

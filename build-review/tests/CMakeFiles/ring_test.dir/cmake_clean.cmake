@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_test.dir/ring_test.cpp.o"
+  "CMakeFiles/ring_test.dir/ring_test.cpp.o.d"
+  "ring_test"
+  "ring_test.pdb"
+  "ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verlet_test.dir/verlet_test.cpp.o"
+  "CMakeFiles/verlet_test.dir/verlet_test.cpp.o.d"
+  "verlet_test"
+  "verlet_test.pdb"
+  "verlet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verlet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/fasda_md.cpp" "tools/CMakeFiles/fasda_md_cli.dir/fasda_md.cpp.o" "gcc" "tools/CMakeFiles/fasda_md_cli.dir/fasda_md.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/engine/CMakeFiles/fasda_engine.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/fasda_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fpga/CMakeFiles/fasda_fpga.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cbb/CMakeFiles/fasda_cbb.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pe/CMakeFiles/fasda_pe.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/idmap/CMakeFiles/fasda_idmap.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/fasda_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/md/CMakeFiles/fasda_md.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geom/CMakeFiles/fasda_geom.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interp/CMakeFiles/fasda_interp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/fasda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasda_md_cli.dir/fasda_md.cpp.o"
+  "CMakeFiles/fasda_md_cli.dir/fasda_md.cpp.o.d"
+  "fasda_md"
+  "fasda_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasda_md_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
