@@ -7,8 +7,12 @@
 // Flags:
 //   --iters N      timesteps per design (default 2)
 //   --cooldown N   ablation: egress cooldown counter (default 2)
+//   --faults SPEC  arm the lossy-fabric model + ack/retransmit recovery and
+//                  append a per-link reliability table (DESIGN.md §10).
+//                  SPEC: drop=0.05,dup=0.02,reorder=0.02,corrupt=0.01,seed=7
 
 #include <map>
+#include <optional>
 
 #include "bench_common.hpp"
 
@@ -49,9 +53,25 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int iters = static_cast<int>(cli.get_or("iters", 2L));
   const int cooldown = static_cast<int>(cli.get_or("cooldown", 2L));
+  std::optional<net::FaultPlan> faults;
+  if (auto spec = cli.get("faults")) {
+    try {
+      faults = net::FaultPlan::parse(*spec);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
 
   bench::print_header("Figure 18 -- Communication bandwidth demand and breakdown");
   if (cooldown != 2) std::printf("[ablation: cooldown = %d cycles]\n", cooldown);
+  if (faults) {
+    std::printf("[lossy fabric: drop=%.3f dup=%.3f reorder=%.3f corrupt=%.3f "
+                "seed=%llu]\n",
+                faults->all.drop, faults->all.dup, faults->all.reorder,
+                faults->all.corrupt,
+                static_cast<unsigned long long>(faults->seed));
+  }
 
   struct Design {
     const char* name;
@@ -71,6 +91,7 @@ int main(int argc, char** argv) {
   for (const Design& d : designs) {
     auto config = d.config;
     config.channel.cooldown = cooldown;
+    config.faults = faults;
     const auto state = bench::standard_dataset(d.cells);
     core::Simulation sim(state, md::ForceField::sodium(), config);
     sim.run(iters);
@@ -87,6 +108,37 @@ int main(int argc, char** argv) {
       std::printf(
           "  (expect: faces > edges > corner; forces steeper because zero\n"
           "   forces to distant nodes are discarded rather than returned)\n");
+
+      if (faults) {
+        std::printf(
+            "\n(D) Per-link reliability, design C (channels merged; only "
+            "links with faults shown)\n");
+        std::printf("  %-8s %6s %5s %5s %5s %7s %6s %6s %8s\n", "link",
+                    "drops", "dups", "reord", "crpt", "retrans", "crcfl",
+                    "dupdc", "recovery");
+        for (const auto& [link, s] : t.link_stats) {
+          if (!s.faults_seen() && !s.retransmits) continue;
+          std::printf("  %3d->%-3d %6llu %5llu %5llu %5llu %7llu %6llu %6llu "
+                      "%8llu\n",
+                      link.first, link.second,
+                      static_cast<unsigned long long>(s.injected_drops),
+                      static_cast<unsigned long long>(s.injected_dups),
+                      static_cast<unsigned long long>(s.injected_reorders),
+                      static_cast<unsigned long long>(s.injected_corrupts),
+                      static_cast<unsigned long long>(s.retransmits),
+                      static_cast<unsigned long long>(s.crc_failures),
+                      static_cast<unsigned long long>(s.duplicates_discarded),
+                      static_cast<unsigned long long>(s.recovery_cycles));
+        }
+        const net::LinkStats& r = t.reliability_total;
+        std::printf("  total: %llu retransmits, %llu timeouts, %llu acks, "
+                    "%llu nacks, max retry depth %d\n",
+                    static_cast<unsigned long long>(r.retransmits),
+                    static_cast<unsigned long long>(r.timeouts),
+                    static_cast<unsigned long long>(r.acks_sent),
+                    static_cast<unsigned long long>(r.nacks_sent),
+                    r.max_retry_depth);
+      }
     }
   }
   return 0;

@@ -72,7 +72,7 @@ class Cbb::FrcStation : public ring::Station<ring::ForceToken> {
     // most the FRN can hand over anyway.
     assert(t.slot < cbb_->forces_.size());
     if (FcProbe::hook) FcProbe::hook(cbb_->gcell_, t.slot, t.force, -1);
-    cbb_->forces_[t.slot] += t.force;
+    cbb_->forces_[t.slot].add(t.force);
     return true;
   }
 
@@ -189,7 +189,7 @@ void Cbb::begin_force_phase() {
     particles_.resize(w);
     migrated_.clear();
   }
-  forces_.assign(particles_.size(), geom::Vec3f{});
+  forces_.assign(particles_.size(), fixed::ForceAccum{});
   inject_cursor_ = 0;
   // Intra-cell pairs: every home particle becomes a home reference exactly
   // once, spread round-robin over the SPE dispatch queues.
@@ -335,7 +335,8 @@ void Cbb::tick_motion_update() {
       static_cast<float>(1.0 / mu_ff_->element(p.elem).mass);
   // Leapfrog kick with the adder-tree-combined force, then drift with the
   // delta quantized straight onto the fixed-point grid (§4.2).
-  const geom::Vec3f vel = p.vel + forces_[mu_cursor_] * (mu_dt_ * inv_mass);
+  const geom::Vec3f vel =
+      p.vel + forces_[mu_cursor_].to_vec3f() * (mu_dt_ * inv_mass);
 
   geom::IVec3 shift{};
   fixed::FixedVec3 pos = p.pos;
@@ -383,7 +384,14 @@ void Cbb::accumulate(std::uint16_t slot, const geom::Vec3f& force,
                      int fc_index) {
   assert(slot < forces_.size());
   if (FcProbe::hook) FcProbe::hook(gcell_, slot, force, fc_index);
-  forces_[slot] += force;
+  forces_[slot].add(force);
+}
+
+std::vector<geom::Vec3f> Cbb::forces() const {
+  std::vector<geom::Vec3f> out;
+  out.reserve(forces_.size());
+  for (const fixed::ForceAccum& f : forces_) out.push_back(f.to_vec3f());
+  return out;
 }
 
 // ---------------------------------------------------------------- stats

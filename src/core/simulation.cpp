@@ -65,6 +65,11 @@ Simulation::Simulation(const md::SystemState& state, md::ForceField ff,
   pos_fabric_ = std::make_unique<net::Fabric<net::PosRecord>>(config.channel);
   frc_fabric_ = std::make_unique<net::Fabric<net::FrcRecord>>(config.channel);
   mig_fabric_ = std::make_unique<net::Fabric<net::MigRecord>>(config.channel);
+  if (config.faults) {
+    pos_fabric_->set_fault_plan(*config.faults, net::kPosChannelSalt);
+    frc_fabric_->set_fault_plan(*config.faults, net::kFrcChannelSalt);
+    mig_fabric_->set_fault_plan(*config.faults, net::kMigChannelSalt);
+  }
   if (config.sync_mode == sync::SyncMode::kBulk) {
     barrier_ = std::make_unique<sync::BulkBarrier>(map_.num_nodes(),
                                                    config.bulk_barrier_latency);
@@ -80,6 +85,8 @@ Simulation::Simulation(const md::SystemState& state, md::ForceField ff,
   node_config.cbb.pe.input_queue_depth =
       static_cast<std::size_t>(config.pe_input_queue_depth);
   node_config.sync_mode = config.sync_mode;
+  node_config.reliable = config.faults.has_value();
+  node_config.reliability = config.reliability;
 
   for (idmap::NodeId id = 0; id < map_.num_nodes(); ++id) {
     fpga::NodeConfig per_node = node_config;
@@ -130,6 +137,15 @@ void Simulation::run(int iterations) {
       start + config_.max_cycles_per_iteration * static_cast<sim::Cycle>(iterations);
   scheduler_->run_until(
       [&] {
+        // Evaluated on the caller's thread between cycles (workers idle),
+        // so reading node state here is race-free and throwing is safe.
+        if (config_.faults) {
+          for (const auto& node : nodes_) {
+            if (auto deg = node->degraded_link()) {
+              throw sync::DegradedLinkError(deg->first, deg->second);
+            }
+          }
+        }
         for (const auto& node : nodes_) {
           if (!node->done()) return false;
         }
@@ -249,6 +265,23 @@ TrafficReport Simulation::traffic() const {
     out.force_gbps_per_node =
         static_cast<double>(out.forces.total_packets) * net::kPacketBits /
         cycles * bits_per_cycle_to_gbps / n;
+  }
+  // Fold the reliability record into the report: fabric-side injected
+  // faults plus endpoint-side protocol counters, merged per directed link
+  // across the three channels.
+  auto merge_map = [&](const std::map<net::Link, net::LinkStats>& m) {
+    for (const auto& [link, stats] : m) out.link_stats[link].merge(stats);
+  };
+  merge_map(pos_fabric_->fault_stats());
+  merge_map(frc_fabric_->fault_stats());
+  merge_map(mig_fabric_->fault_stats());
+  for (const auto& node : nodes_) {
+    merge_map(node->pos_endpoint().link_stats());
+    merge_map(node->frc_endpoint().link_stats());
+    merge_map(node->mig_endpoint().link_stats());
+  }
+  for (const auto& [link, stats] : out.link_stats) {
+    out.reliability_total.merge(stats);
   }
   return out;
 }

@@ -102,6 +102,8 @@ core::ClusterConfig cluster_config_for(const EngineSpec& spec,
   c.dt = spec.dt;
   c.channel = spec.channel;
   c.num_worker_threads = spec.num_worker_threads;
+  c.faults = spec.faults;
+  c.reliability = spec.reliability;
   return c;
 }
 

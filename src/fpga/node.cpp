@@ -107,6 +107,11 @@ FpgaNode::FpgaNode(NodeId id, const NodeConfig& config,
   pos_fabric_->attach(&pos_ep_);
   frc_fabric_->attach(&frc_ep_);
   mig_fabric_->attach(&mig_ep_);
+  if (config_.reliable) {
+    pos_ep_.arm_reliability(config_.reliability);
+    frc_ep_.arm_reliability(config_.reliability);
+    mig_ep_.arm_reliability(config_.reliability);
+  }
 
   const geom::IVec3& cpn = map_.cells_per_node();
   const int spes = config_.cbb.spes;
@@ -224,9 +229,36 @@ void FpgaNode::start(int iterations, float dt_fs, double cell_size,
 // ---------------------------------------------------------------- per cycle
 
 void FpgaNode::tick(sim::Cycle now) {
+  tick_protocol(now);
   tick_ingress(now);
   tick_fsm(now);
   tick_egress(now);
+}
+
+void FpgaNode::tick_protocol(sim::Cycle now) {
+  // Runs every cycle regardless of the FSM phase: acks must flow even for
+  // a channel whose data the current phase is not polling (e.g. migration
+  // acks while evaluating forces), or the peer's retransmit timer would
+  // declare a healthy link dead. Accepted data still waits in the endpoint
+  // until the right phase polls it.
+  if (!config_.reliable) return;
+  pos_ep_.tick_protocol(now, [&](const net::Packet<net::PosRecord>& p) {
+    pos_fabric_->send(p, now);
+  });
+  frc_ep_.tick_protocol(now, [&](const net::Packet<net::FrcRecord>& p) {
+    frc_fabric_->send(p, now);
+  });
+  mig_ep_.tick_protocol(now, [&](const net::Packet<net::MigRecord>& p) {
+    mig_fabric_->send(p, now);
+  });
+}
+
+std::optional<std::pair<net::DegradedLink, const char*>>
+FpgaNode::degraded_link() const {
+  if (pos_ep_.degraded()) return {{pos_ep_.degraded_links().front(), "pos"}};
+  if (frc_ep_.degraded()) return {{frc_ep_.degraded_links().front(), "frc"}};
+  if (mig_ep_.degraded()) return {{mig_ep_.degraded_links().front(), "mig"}};
+  return std::nullopt;
 }
 
 int FpgaNode::local_delivery_count(const geom::IVec3& src_lcid) const {

@@ -89,7 +89,11 @@ class Cbb : public sim::Component, public pe::ForceSink {
 
   std::vector<pe::CellParticle>& particles() { return particles_; }
   const std::vector<pe::CellParticle>& particles() const { return particles_; }
-  const std::vector<geom::Vec3f>& forces() const { return forces_; }
+  /// Per-slot combined forces read out of the fixed-point FC accumulators.
+  /// Accumulation is order-independent (see fixed::ForceAccum), so this is
+  /// bitwise identical no matter how ring/network timing interleaved the
+  /// contributing writes.
+  std::vector<geom::Vec3f> forces() const;
 
   // ---- phase control (driven by the FpgaNode) ----
   void begin_force_phase();
@@ -145,7 +149,7 @@ class Cbb : public sim::Component, public pe::ForceSink {
   bool has_remote_dests_ = false;
 
   std::vector<pe::CellParticle> particles_;
-  std::vector<geom::Vec3f> forces_;
+  std::vector<fixed::ForceAccum> forces_;  ///< FC accumulators, by slot
   std::vector<bool> migrated_;
 
   std::vector<std::unique_ptr<pe::ProcessingElement>> pes_;

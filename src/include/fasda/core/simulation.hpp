@@ -43,6 +43,11 @@ struct ClusterConfig {
   sim::Cycle bulk_barrier_latency = 2000;  ///< central-FPGA coordinator cost
   /// Straggler injection: (node id, slowdown factor) pairs.
   std::vector<std::pair<idmap::NodeId, int>> stragglers;
+  /// Attaching a FaultPlan (even all-zero rates) makes the fabrics lossy
+  /// per the plan and arms the ack/retransmit protocol on every endpoint.
+  /// run() throws sync::DegradedLinkError if a link exhausts its retries.
+  std::optional<net::FaultPlan> faults;
+  net::ReliabilityConfig reliability{};
   sim::Cycle max_cycles_per_iteration = 4'000'000;
   /// Cycle-scheduler worker threads. 0 = auto (hardware concurrency),
   /// 1 = the exact old serial behaviour, N > 1 = node-sharded parallel
@@ -68,6 +73,11 @@ struct TrafficReport {
   /// Average per-node egress bandwidth in Gbps over the elapsed cycles.
   double position_gbps_per_node = 0;
   double force_gbps_per_node = 0;
+  /// Reliability record per directed link, merged over the three channels:
+  /// faults the fabrics injected plus what the endpoint protocol did about
+  /// them. Empty maps/zero counters when no FaultPlan is attached.
+  std::map<net::Link, net::LinkStats> link_stats;
+  net::LinkStats reliability_total;
 };
 
 class Simulation {

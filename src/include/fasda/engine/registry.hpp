@@ -35,6 +35,11 @@ struct EngineSpec {
   int spes = 1;
   int num_worker_threads = 1;  ///< cycle-scheduler threads (DESIGN.md §8)
   net::ChannelConfig channel{};
+  /// Lossy-fabric model (DESIGN.md §10). Attaching a plan arms the
+  /// ack/retransmit protocol; stepping throws sync::DegradedLinkError if a
+  /// link exhausts its retries.
+  std::optional<net::FaultPlan> faults;
+  net::ReliabilityConfig reliability{};
 };
 
 class Registry {

@@ -95,6 +95,41 @@ constexpr std::uint64_t r2_fixed(const FixedVec3& a, const FixedVec3& b) {
          static_cast<std::uint64_t>(dz * dz);
 }
 
+/// Force Cache accumulator: one 64-bit fixed-point register per axis
+/// (Q15.48), mirroring the paper's on-chip accumulation in a fixed format
+/// rather than float32. Integer addition is associative and commutative, so
+/// the combined force depends only on the *set* of contributions — never on
+/// arrival order. That is what lets the fault-injection layer guarantee
+/// bitwise-identical trajectories: retransmits and reordering shift when a
+/// force token lands, not what the accumulated sum reads at motion update.
+/// Resolution is 2^-48 force units per contribution — finer than one
+/// float32 ulp of any realistic pairwise force, so the quantization is
+/// invisible next to the float arithmetic that produced the contribution —
+/// with ~2^15 units of headroom, far above any force the PE table emits.
+struct ForceAccum {
+  static constexpr int kFracBits = 48;
+  static constexpr double kScale =
+      static_cast<double>(std::int64_t{1} << kFracBits);
+
+  std::int64_t x = 0, y = 0, z = 0;
+
+  void add(const geom::Vec3f& f) {
+    x += quantize(f.x);
+    y += quantize(f.y);
+    z += quantize(f.z);
+  }
+
+  geom::Vec3f to_vec3f() const {
+    return {static_cast<float>(static_cast<double>(x) / kScale),
+            static_cast<float>(static_cast<double>(y) / kScale),
+            static_cast<float>(static_cast<double>(z) / kScale)};
+  }
+
+  static std::int64_t quantize(float v) {
+    return std::llround(static_cast<double>(v) * kScale);
+  }
+};
+
 /// The filter threshold: r^2 < R_c^2 with R_c normalized to 1 cell edge.
 constexpr std::uint64_t kR2One = 1ull << (2 * FixedCoord::kFracBits);
 

@@ -29,6 +29,11 @@ struct NodeConfig {
   cbb::CbbConfig cbb{};
   sync::SyncMode sync_mode = sync::SyncMode::kChained;
   int slowdown = 1;  ///< datapath ticks every `slowdown`-th cycle (straggler)
+  /// Arms the ack/retransmit protocol on all three endpoints. Required
+  /// whenever the fabrics carry a FaultPlan; must be set on every node of a
+  /// cluster or on none.
+  bool reliable = false;
+  net::ReliabilityConfig reliability{};
 };
 
 /// Gates an inner component's tick to every k-th cycle.
@@ -92,6 +97,17 @@ class FpgaNode : public sim::Component {
 
   void tick(sim::Cycle now) override;
 
+  // ---- reliability introspection ----
+
+  /// First degraded link detected on any channel, with the channel name
+  /// ("pos"/"frc"/"mig"); nullopt while every link is healthy.
+  std::optional<std::pair<net::DegradedLink, const char*>> degraded_link()
+      const;
+
+  const net::Endpoint<net::PosRecord>& pos_endpoint() const { return pos_ep_; }
+  const net::Endpoint<net::FrcRecord>& frc_endpoint() const { return frc_ep_; }
+  const net::Endpoint<net::MigRecord>& mig_endpoint() const { return mig_ep_; }
+
   // ---- aggregated statistics ----
   sim::UtilCounter pos_ring_util() const;
   sim::UtilCounter frc_ring_util() const;
@@ -116,6 +132,7 @@ class FpgaNode : public sim::Component {
     kDone,
   };
 
+  void tick_protocol(sim::Cycle now);
   void tick_ingress(sim::Cycle now);
   void tick_egress(sim::Cycle now);
   void tick_fsm(sim::Cycle now);

@@ -1,0 +1,242 @@
+#pragma once
+// Deterministic link-fault model for the inter-FPGA fabric (PR 3).
+//
+// FASDA's links are UDP over a 100 GbE switch (§network, Fig. 18), so a
+// production cluster must assume packets can be lost, duplicated, reordered
+// or corrupted in flight. A FaultPlan describes, per directed link, the
+// probability of each fault plus exact "drop data packet #k on link (i,j)"
+// triggers. All randomness flows through util::rng seeded from one 64-bit
+// seed mixed with the link endpoints and a per-channel salt, and faults are
+// applied inside net::Fabric::commit() — the single-threaded global phase of
+// the two-phase scheduler — so a given (plan, workload) reproduces the same
+// fault sequence bitwise for any worker count.
+//
+// LinkStats records both what the fabric injected (drops, dups, reorders,
+// corrupts) and what the recovery protocol did about it (retransmits, acks,
+// nacks, duplicate discards, CRC failures, retry depth, recovery cycles).
+// DegradedLink is the typed give-up event: a sender that exhausts
+// max_retries on one packet declares the link dead instead of retrying
+// forever, and core::Simulation::run surfaces it as sync::DegradedLinkError
+// rather than hanging until the cycle budget trips.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "fasda/idmap/cell_id_map.hpp"
+#include "fasda/sim/kernel.hpp"
+#include "fasda/util/rng.hpp"
+
+namespace fasda::net {
+
+using NodeId = idmap::NodeId;
+using Link = std::pair<NodeId, NodeId>;  ///< directed (src, dst)
+
+/// Per-link fault probabilities. Rates are per packet in [0, 1]; a dead
+/// link drops everything in its direction (the switch port failed).
+struct LinkFaults {
+  double drop = 0.0;
+  double dup = 0.0;
+  double reorder = 0.0;
+  double corrupt = 0.0;
+  bool dead = false;
+
+  bool any() const {
+    return dead || drop > 0.0 || dup > 0.0 || reorder > 0.0 || corrupt > 0.0;
+  }
+};
+
+/// A seeded description of every fault the fabric should inject. Attaching
+/// a FaultPlan (even an all-zero one) arms the ack/retransmit protocol on
+/// every endpoint; the all-zero plan is the "protocol on, wire perfect"
+/// baseline the golden-figure guard pins packet counts against.
+struct FaultPlan {
+  std::uint64_t seed = 0x5eed;
+  LinkFaults all;                       ///< default for every link
+  std::map<Link, LinkFaults> per_link;  ///< overrides for specific links
+  /// Deterministic triggers: drop the k-th data packet (0-based, counted at
+  /// the fabric) on a specific link, regardless of the random rates.
+  std::map<Link, std::set<std::uint64_t>> drop_exact;
+
+  const LinkFaults& faults_for(NodeId src, NodeId dst) const {
+    const auto it = per_link.find({src, dst});
+    return it == per_link.end() ? all : it->second;
+  }
+
+  bool link_has_faults(NodeId src, NodeId dst) const {
+    return faults_for(src, dst).any() || drop_exact.count({src, dst}) > 0;
+  }
+
+  /// Parses the CLI spec used by `--faults`, a comma list of key=value:
+  ///   drop=0.05,dup=0.02,reorder=0.02,corrupt=0.01,seed=7,dead=0-1
+  /// dead may repeat; dropk=SRC-DST-K adds an exact drop trigger.
+  static FaultPlan parse(std::string_view spec);
+};
+
+/// Per-link reliability record, folded into the Fig. 18 traffic matrix.
+/// The injected_* fields are stamped by the fabric; the protocol fields by
+/// the endpoints. merge() lets callers aggregate over links or channels.
+struct LinkStats {
+  // Fabric side: faults injected on the wire.
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_dups = 0;
+  std::uint64_t injected_reorders = 0;
+  std::uint64_t injected_corrupts = 0;
+  // Endpoint side: what the recovery protocol observed and did.
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t duplicates_discarded = 0;
+  std::uint64_t crc_failures = 0;
+  int max_retry_depth = 0;
+  /// Cycles a link spent recovering: from the first timeout/nack on a
+  /// packet until cumulative acks moved past it again.
+  sim::Cycle recovery_cycles = 0;
+
+  void merge(const LinkStats& o) {
+    injected_drops += o.injected_drops;
+    injected_dups += o.injected_dups;
+    injected_reorders += o.injected_reorders;
+    injected_corrupts += o.injected_corrupts;
+    retransmits += o.retransmits;
+    timeouts += o.timeouts;
+    acks_sent += o.acks_sent;
+    nacks_sent += o.nacks_sent;
+    duplicates_discarded += o.duplicates_discarded;
+    crc_failures += o.crc_failures;
+    max_retry_depth = max_retry_depth > o.max_retry_depth ? max_retry_depth
+                                                          : o.max_retry_depth;
+    recovery_cycles += o.recovery_cycles;
+  }
+
+  bool faults_seen() const {
+    return injected_drops || injected_dups || injected_reorders ||
+           injected_corrupts;
+  }
+};
+
+/// Ack/retransmit protocol knobs for an armed Endpoint.
+struct ReliabilityConfig {
+  /// Retransmit timeout in cycles; 0 = auto (2·link_latency + 4·cooldown +
+  /// 64), sized above the ack round trip so a perfect wire never times out.
+  sim::Cycle rto = 0;
+  /// Consecutive timeouts on one packet before the link is declared dead.
+  int max_retries = 8;
+  /// Exponential-backoff cap in cycles; 0 = auto (8·rto).
+  sim::Cycle max_backoff = 0;
+};
+
+/// Typed give-up event for a link whose packets are never acknowledged.
+struct DegradedLink {
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::uint64_t seq = 0;        ///< oldest unacknowledged data packet
+  sim::Cycle detected_at = 0;   ///< cycle max_retries was exhausted
+  int retries = 0;
+};
+
+/// CRC-32 (reflected 0xEDB88320) fed field-by-field so struct padding never
+/// enters the digest. Cheap bitwise implementation — the simulator hashes a
+/// few dozen bytes per packet, not line-rate traffic.
+class Crc32 {
+ public:
+  void add_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      crc_ ^= p[i];
+      for (int b = 0; b < 8; ++b) {
+        crc_ = (crc_ >> 1) ^ (0xEDB88320u & (0u - (crc_ & 1u)));
+      }
+    }
+  }
+
+  template <class T>
+  void add(const T& v) {
+    static_assert(std::is_arithmetic_v<T>, "hash scalar fields only");
+    add_bytes(&v, sizeof v);
+  }
+
+  std::uint32_t value() const { return ~crc_; }
+
+ private:
+  std::uint32_t crc_ = 0xFFFFFFFFu;
+};
+
+/// Per-channel salts mixing into link_seed so the position, force and
+/// migration fabrics draw independent fault streams from one plan seed.
+inline constexpr std::uint64_t kPosChannelSalt = 1;
+inline constexpr std::uint64_t kFrcChannelSalt = 2;
+inline constexpr std::uint64_t kMigChannelSalt = 3;
+
+/// Deterministic per-link RNG seed: one plan seed fans out to independent
+/// streams per (channel, src, dst) so fault sequences never depend on how
+/// traffic on other links interleaves.
+inline std::uint64_t link_seed(std::uint64_t plan_seed, std::uint64_t salt,
+                               NodeId src, NodeId dst) {
+  util::SplitMix64 sm(plan_seed ^ (salt * 0x9E3779B97F4A7C15ULL) ^
+                      (static_cast<std::uint64_t>(src) << 32) ^
+                      static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)));
+  return sm.next();
+}
+
+// ---------------------------------------------------------------- parsing
+
+inline FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("FaultPlan: " + why + " in --faults spec '" +
+                                std::string(spec) + "'");
+  };
+  auto parse_link = [&](std::string_view v) -> Link {
+    const auto dash = v.find('-');
+    if (dash == std::string_view::npos) fail("expected SRC-DST");
+    return {static_cast<NodeId>(std::stol(std::string(v.substr(0, dash)))),
+            static_cast<NodeId>(std::stol(std::string(v.substr(dash + 1))))};
+  };
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos) fail("expected key=value");
+    const std::string_view key = item.substr(0, eq);
+    const std::string value(item.substr(eq + 1));
+    try {
+      if (key == "drop") plan.all.drop = std::stod(value);
+      else if (key == "dup") plan.all.dup = std::stod(value);
+      else if (key == "reorder") plan.all.reorder = std::stod(value);
+      else if (key == "corrupt") plan.all.corrupt = std::stod(value);
+      else if (key == "seed") plan.seed = std::stoull(value);
+      else if (key == "dead") {
+        const Link link = parse_link(value);
+        LinkFaults lf = plan.faults_for(link.first, link.second);
+        lf.dead = true;
+        plan.per_link[link] = lf;
+      } else if (key == "dropk") {
+        const auto d2 = value.rfind('-');
+        if (d2 == std::string::npos || d2 == 0) fail("dropk expects SRC-DST-K");
+        const Link link = parse_link(std::string_view(value).substr(0, d2));
+        plan.drop_exact[link].insert(std::stoull(value.substr(d2 + 1)));
+      } else {
+        fail("unknown key '" + std::string(key) + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      fail("bad value '" + value + "' for key '" + std::string(key) + "'");
+    }
+  }
+  for (double rate : {plan.all.drop, plan.all.dup, plan.all.reorder,
+                      plan.all.corrupt}) {
+    if (rate < 0.0 || rate > 1.0) fail("rates must be in [0, 1]");
+  }
+  return plan;
+}
+
+}  // namespace fasda::net

@@ -18,12 +18,40 @@
 #include <map>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 
+#include "fasda/net/fault.hpp"
 #include "fasda/sim/kernel.hpp"
 
 namespace fasda::sync {
 
 enum class SyncMode { kChained, kBulk };
+
+/// Raised when a sync round cannot complete because the retransmit protocol
+/// declared a fabric link dead (net::DegradedLink): the chained-sync `last`
+/// signal for that neighbour will never arrive, so the run surfaces a typed
+/// error instead of spinning until the cycle budget trips. Thrown by
+/// core::Simulation::run on the caller's thread, between scheduler cycles —
+/// never from inside a worker tick.
+class DegradedLinkError : public std::runtime_error {
+ public:
+  DegradedLinkError(const net::DegradedLink& link, std::string channel)
+      : std::runtime_error(
+            "sync: " + channel + " link " + std::to_string(link.src) + "->" +
+            std::to_string(link.dst) + " degraded after " +
+            std::to_string(link.retries) + " retries at cycle " +
+            std::to_string(link.detected_at) + " (seq " +
+            std::to_string(link.seq) + ")"),
+        link_(link),
+        channel_(std::move(channel)) {}
+
+  const net::DegradedLink& link() const { return link_; }
+  const std::string& channel() const { return channel_; }
+
+ private:
+  net::DegradedLink link_;
+  std::string channel_;
+};
 
 /// Per-node signal counters for one iteration.
 class ChainedSync {

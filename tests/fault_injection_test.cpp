@@ -1,0 +1,322 @@
+// Fault-injection suite (DESIGN.md §10): the lossy-fabric model plus the
+// ack/retransmit recovery protocol, from single-link endpoint mechanics up
+// to whole-cluster trajectory invariance.
+//
+// The headline property is the acceptance criterion of the layer: a seeded
+// FaultPlan with drop/dup/reorder/corrupt on every traffic class yields
+// positions and velocities BITWISE identical to the fault-free run, for 1,
+// 2 and 4 scheduler workers, while the reliability counters prove faults
+// actually happened. A dead link must terminate the run with a typed
+// sync::DegradedLinkError instead of hanging.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fasda/core/simulation.hpp"
+#include "fasda/md/dataset.hpp"
+#include "fasda/net/network.hpp"
+#include "fasda/sync/sync.hpp"
+
+namespace fasda {
+namespace {
+
+// ---------------------------------------------------------- FaultPlan::parse
+
+TEST(FaultPlanParse, FullSpecRoundTrips) {
+  const auto plan = net::FaultPlan::parse(
+      "drop=0.05,dup=0.02,reorder=0.03,corrupt=0.01,seed=7,dead=0-1,"
+      "dropk=2-3-11");
+  EXPECT_DOUBLE_EQ(plan.all.drop, 0.05);
+  EXPECT_DOUBLE_EQ(plan.all.dup, 0.02);
+  EXPECT_DOUBLE_EQ(plan.all.reorder, 0.03);
+  EXPECT_DOUBLE_EQ(plan.all.corrupt, 0.01);
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_TRUE(plan.faults_for(0, 1).dead);
+  EXPECT_FALSE(plan.faults_for(1, 0).dead);
+  ASSERT_EQ(plan.drop_exact.count({2, 3}), 1u);
+  EXPECT_EQ(plan.drop_exact.at({2, 3}).count(11), 1u);
+
+  // With no global rates, only the dropk link reports faults.
+  const auto exact_only = net::FaultPlan::parse("dropk=2-3-11");
+  EXPECT_TRUE(exact_only.link_has_faults(2, 3));
+  EXPECT_FALSE(exact_only.link_has_faults(3, 2));
+}
+
+TEST(FaultPlanParse, EmptySpecIsAllZero) {
+  const auto plan = net::FaultPlan::parse("");
+  EXPECT_FALSE(plan.all.any());
+  EXPECT_TRUE(plan.per_link.empty());
+  EXPECT_TRUE(plan.drop_exact.empty());
+}
+
+TEST(FaultPlanParse, RejectsBadSpecs) {
+  EXPECT_THROW(net::FaultPlan::parse("drop=1.5"), std::invalid_argument);
+  EXPECT_THROW(net::FaultPlan::parse("drop=-0.1"), std::invalid_argument);
+  EXPECT_THROW(net::FaultPlan::parse("frobnicate=1"), std::invalid_argument);
+  EXPECT_THROW(net::FaultPlan::parse("drop"), std::invalid_argument);
+  EXPECT_THROW(net::FaultPlan::parse("dead=7"), std::invalid_argument);
+  EXPECT_THROW(net::FaultPlan::parse("dropk=0-1"), std::invalid_argument);
+  EXPECT_THROW(net::FaultPlan::parse("drop=abc"), std::invalid_argument);
+}
+
+// ------------------------------------------- endpoint-level link recovery
+
+net::ChannelConfig fast_config() {
+  net::ChannelConfig c;
+  c.link_latency = 10;
+  c.cooldown = 2;
+  return c;
+}
+
+/// Two armed endpoints over a lossy wire; pump() runs the full per-cycle
+/// protocol the FPGA node runs (tick_protocol + tick_egress + commit).
+struct LossyPair {
+  explicit LossyPair(const net::FaultPlan& plan)
+      : fabric(fast_config()), a(0, fast_config()), b(1, fast_config()) {
+    fabric.attach(&a);
+    fabric.attach(&b);
+    fabric.set_fault_plan(plan, net::kPosChannelSalt);
+    a.arm_reliability();
+    b.arm_reliability();
+  }
+
+  void pump(sim::Cycle& now, int cycles,
+            std::vector<net::PosRecord>* received = nullptr) {
+    for (int i = 0; i < cycles; ++i, ++now) {
+      const auto send = [&](const net::Packet<net::PosRecord>& p) {
+        fabric.send(p, now);
+      };
+      a.tick_protocol(now, send);
+      b.tick_protocol(now, send);
+      a.tick_egress(now, send);
+      b.tick_egress(now, send);
+      if (received) {
+        if (auto r = b.poll_record(now)) received->push_back(*r);
+      }
+      fabric.commit();
+    }
+  }
+
+  net::Fabric<net::PosRecord> fabric;
+  net::Endpoint<net::PosRecord> a, b;
+};
+
+net::PosRecord record(int slot) {
+  net::PosRecord r;
+  r.src_gcell = {1, 2, 3};
+  r.slot = static_cast<std::uint16_t>(slot);
+  return r;
+}
+
+void expect_in_order(const std::vector<net::PosRecord>& received, int count) {
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) EXPECT_EQ(received[i].slot, i) << "at " << i;
+}
+
+TEST(LinkRecovery, ExactDropIsRetransmitted) {
+  net::FaultPlan plan;
+  plan.drop_exact[{0, 1}] = {0};  // kill the very first data packet
+  LossyPair net(plan);
+  sim::Cycle now = 0;
+  for (int i = 0; i < 8; ++i) net.a.enqueue(1, record(i));
+  net.a.flush_last({1});
+  std::vector<net::PosRecord> received;
+  net.pump(now, 800, &received);
+  expect_in_order(received, 8);
+  EXPECT_EQ(net.fabric.fault_stats().at({0, 1}).injected_drops, 1u);
+  const auto& tx = net.a.link_stats().at({0, 1});
+  EXPECT_GE(tx.retransmits, 1u);
+  EXPECT_GT(tx.recovery_cycles, 0u);
+  EXPECT_FALSE(net.a.degraded());
+}
+
+TEST(LinkRecovery, DuplicatesAreDiscardedOnce) {
+  net::FaultPlan plan;
+  plan.all.dup = 1.0;  // every packet delivered twice
+  LossyPair net(plan);
+  sim::Cycle now = 0;
+  for (int i = 0; i < 12; ++i) net.a.enqueue(1, record(i));
+  net.a.flush_last({1});
+  std::vector<net::PosRecord> received;
+  net.pump(now, 800, &received);
+  expect_in_order(received, 12);
+  EXPECT_GT(net.b.link_stats().at({0, 1}).duplicates_discarded, 0u);
+}
+
+TEST(LinkRecovery, CorruptionIsCaughtByCrcAndResent) {
+  net::FaultPlan plan;
+  plan.seed = 99;
+  plan.all.corrupt = 0.4;  // < 1: a retransmitted copy eventually survives
+  LossyPair net(plan);
+  sim::Cycle now = 0;
+  for (int i = 0; i < 12; ++i) net.a.enqueue(1, record(i));
+  net.a.flush_last({1});
+  std::vector<net::PosRecord> received;
+  net.pump(now, 4000, &received);
+  expect_in_order(received, 12);
+  EXPECT_GT(net.b.link_stats().at({0, 1}).crc_failures, 0u);
+  EXPECT_GT(net.a.link_stats().at({0, 1}).retransmits, 0u);
+}
+
+TEST(LinkRecovery, MixedFaultsDeliverEverythingInOrder) {
+  net::FaultPlan plan;
+  plan.seed = 5;
+  plan.all = {.drop = 0.15, .dup = 0.1, .reorder = 0.15, .corrupt = 0.1};
+  LossyPair net(plan);
+  sim::Cycle now = 0;
+  int sent = 0;
+  std::vector<net::PosRecord> received;
+  for (int burst = 0; burst < 5; ++burst) {
+    for (int i = 0; i < 8; ++i) net.a.enqueue(1, record(sent++));
+    net.a.flush_last({1});
+    net.pump(now, 300, &received);
+  }
+  net.pump(now, 5000, &received);
+  expect_in_order(received, sent);
+  EXPECT_FALSE(net.a.degraded());
+}
+
+TEST(LinkRecovery, DeadLinkDegradesInsteadOfRetryingForever) {
+  net::FaultPlan plan;
+  plan.per_link[{0, 1}].dead = true;
+  LossyPair net(plan);
+  sim::Cycle now = 0;
+  net.a.enqueue(1, record(0));
+  net.a.flush_last({1});
+  net.pump(now, 50'000);  // far beyond max_retries rounds of max_backoff
+  ASSERT_TRUE(net.a.degraded());
+  const net::DegradedLink& d = net.a.degraded_links().front();
+  EXPECT_EQ(d.src, 0);
+  EXPECT_EQ(d.dst, 1);
+  EXPECT_EQ(d.seq, 0u);
+  EXPECT_GT(d.retries, 0);
+}
+
+// ------------------------------------------------ cluster-level invariance
+
+md::SystemState cluster_state() {
+  md::DatasetParams p;
+  p.particles_per_cell = 8;
+  p.seed = 17;
+  p.temperature = 300.0;
+  return md::generate_dataset({4, 4, 4}, 8.5, md::ForceField::sodium(), p);
+}
+
+core::ClusterConfig cluster_config(int workers) {
+  core::ClusterConfig c;
+  c.node_dims = {2, 2, 2};
+  c.cells_per_node = {2, 2, 2};
+  c.num_worker_threads = workers;
+  return c;
+}
+
+/// All-channel fault plan at the acceptance-criterion rates (<= 10%, no
+/// dead links).
+net::FaultPlan acceptance_plan() {
+  net::FaultPlan plan;
+  plan.seed = 0xFA57;
+  plan.all = {.drop = 0.1, .dup = 0.05, .reorder = 0.05, .corrupt = 0.05};
+  return plan;
+}
+
+void expect_bitwise_equal(const md::SystemState& got,
+                          const md::SystemState& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got.positions[i].x, want.positions[i].x) << "particle " << i;
+    ASSERT_EQ(got.positions[i].y, want.positions[i].y) << "particle " << i;
+    ASSERT_EQ(got.positions[i].z, want.positions[i].z) << "particle " << i;
+    ASSERT_EQ(got.velocities[i].x, want.velocities[i].x) << "particle " << i;
+    ASSERT_EQ(got.velocities[i].y, want.velocities[i].y) << "particle " << i;
+    ASSERT_EQ(got.velocities[i].z, want.velocities[i].z) << "particle " << i;
+  }
+}
+
+// Kept to a few steps on a 2x2x2-node cluster: each faulty run replays the
+// full recovery protocol at cycle level, so this is seconds, not a soak.
+constexpr int kSteps = 3;
+
+TEST(FaultInjection, TrajectoryBitwiseIdenticalUnderFaults) {
+  const auto state = cluster_state();
+  const auto ff = md::ForceField::sodium();
+
+  core::Simulation clean(state, ff, cluster_config(1));
+  clean.run(kSteps);
+  const auto want = clean.state();
+
+  for (int workers : {1, 2, 4}) {
+    auto config = cluster_config(workers);
+    config.faults = acceptance_plan();
+    core::Simulation faulty(state, ff, config);
+    faulty.run(kSteps);
+    expect_bitwise_equal(faulty.state(), want);
+
+    // The run must actually have exercised the recovery protocol.
+    const auto t = faulty.traffic();
+    EXPECT_GT(t.reliability_total.retransmits, 0u) << workers << " workers";
+    EXPECT_GT(t.reliability_total.acks_sent, 0u) << workers << " workers";
+    EXPECT_TRUE(t.reliability_total.faults_seen()) << workers << " workers";
+  }
+}
+
+TEST(FaultInjection, FaultRunsAreSeedReproducible) {
+  const auto state = cluster_state();
+  const auto ff = md::ForceField::sodium();
+  auto config = cluster_config(2);
+  config.faults = acceptance_plan();
+
+  core::Simulation first(state, ff, config);
+  first.run(kSteps);
+  core::Simulation second(state, ff, config);
+  second.run(kSteps);
+
+  // Same plan, same workload: the injected-fault sequence itself replays.
+  EXPECT_EQ(first.traffic().reliability_total.retransmits,
+            second.traffic().reliability_total.retransmits);
+  EXPECT_EQ(first.traffic().reliability_total.crc_failures,
+            second.traffic().reliability_total.crc_failures);
+  EXPECT_EQ(first.total_cycles(), second.total_cycles());
+}
+
+TEST(FaultInjection, ArmedPerfectWireAddsNoRetransmits) {
+  const auto state = cluster_state();
+  const auto ff = md::ForceField::sodium();
+  auto config = cluster_config(1);
+  config.faults = net::FaultPlan{};  // protocol on, wire perfect
+
+  core::Simulation armed(state, ff, config);
+  armed.run(kSteps);
+  const auto t = armed.traffic();
+  EXPECT_EQ(t.reliability_total.retransmits, 0u);
+  EXPECT_EQ(t.reliability_total.timeouts, 0u);
+  EXPECT_EQ(t.reliability_total.crc_failures, 0u);
+  EXPECT_FALSE(t.reliability_total.faults_seen());
+  EXPECT_GT(t.reliability_total.acks_sent, 0u);
+
+  core::Simulation clean(state, ff, cluster_config(1));
+  clean.run(kSteps);
+  expect_bitwise_equal(armed.state(), clean.state());
+}
+
+TEST(FaultInjection, DeadLinkRaisesDegradedLinkError) {
+  const auto state = cluster_state();
+  auto config = cluster_config(2);
+  config.faults = net::FaultPlan{};
+  config.faults->per_link[{0, 1}].dead = true;
+  config.reliability.max_retries = 3;  // fail fast: ~7 RTO of backoff
+
+  core::Simulation sim(state, md::ForceField::sodium(), config);
+  try {
+    sim.run(1);
+    FAIL() << "a dead link must raise DegradedLinkError, not hang";
+  } catch (const sync::DegradedLinkError& e) {
+    EXPECT_EQ(e.link().src, 0);
+    EXPECT_EQ(e.link().dst, 1);
+    EXPECT_GT(e.link().retries, 0);
+    EXPECT_FALSE(e.channel().empty());
+  }
+}
+
+}  // namespace
+}  // namespace fasda

@@ -180,6 +180,32 @@ TEST(Endpoint, FlushWithEmptyBufferStillSignalsLast) {
   EXPECT_EQ(net.fabric.traffic().total_packets, 2u);
 }
 
+TEST(Endpoint, IdleTrafficClassStillFlushesBoundaries) {
+  // Regression: a traffic class a node never sends on (e.g. migrations in a
+  // run where no particle crosses a node boundary) must still produce one
+  // stream-end packet per flush_last, every iteration — the chained sync
+  // counts those boundaries, so an idle link that skipped flush bookkeeping
+  // would stall every peer waiting on it.
+  TwoNodes net;
+  sim::Cycle now = 0;
+  int last_events = 0;
+  for (int iteration = 0; iteration < 3; ++iteration) {
+    net.a.flush_last({1});  // no traffic at all this stream
+    net.pump(now, 40);
+    for (; last_events < iteration + 1;) {
+      ASSERT_LT(now, 400u) << "iteration " << iteration
+                           << ": idle stream boundary never arrived";
+      if (net.b.poll_record(now)) FAIL() << "idle stream delivered a record";
+      last_events += static_cast<int>(net.b.take_last_events().size());
+      net.pump(now, 1);
+    }
+    EXPECT_EQ(net.a.packing_buffer_count(), 0u);
+    EXPECT_FALSE(net.a.egress_pending());
+  }
+  EXPECT_EQ(last_events, 3);
+  EXPECT_EQ(net.fabric.traffic().total_packets, 3u);
+}
+
 TEST(Endpoint, RepeatedStreamReuse) {
   // Three streams back to back without draining in between: every stream
   // boundary must survive, and the packing map must not grow.

@@ -160,6 +160,54 @@ TEST(TimingInvariance, FilterCountChangesTimingNotPhysics) {
   }
 }
 
+// ----------------------------------------------------- lossy-fabric fuzzing
+
+/// Randomized FaultPlans at bounded rates over a small 8-node box: whatever
+/// the wire does (within recoverable limits — no dead links), the physics
+/// must not notice. Particle count is conserved through lossy migrations
+/// and the potential energy stays within parity tolerance of the
+/// functional engine's identical numerics.
+class FaultFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultFuzz, RandomFaultPlansLeavePhysicsUntouched) {
+  util::Xoshiro256 rng(GetParam());
+  net::FaultPlan plan;
+  plan.seed = rng();
+  plan.all.drop = 0.10 * rng.uniform();
+  plan.all.dup = 0.05 * rng.uniform();
+  plan.all.reorder = 0.05 * rng.uniform();
+  plan.all.corrupt = 0.05 * rng.uniform();
+
+  md::DatasetParams p;
+  p.particles_per_cell = 8;
+  p.seed = GetParam();
+  p.temperature = 250.0;
+  const auto ff = md::ForceField::sodium();
+  const auto state = md::generate_dataset({4, 4, 4}, 8.5, ff, p);
+
+  core::ClusterConfig config;
+  config.node_dims = {2, 2, 2};
+  config.cells_per_node = {2, 2, 2};
+  config.faults = plan;
+  config.num_worker_threads = 2;
+  core::Simulation sim(state, ff, config);
+  const int steps = 2;
+  sim.run(steps);
+
+  // No particle lost or duplicated through lossy migration packets.
+  EXPECT_EQ(sim.state().size(), state.size());
+
+  md::FunctionalConfig fc;
+  fc.cutoff = 8.5;
+  fc.dt = 2.0;
+  md::FunctionalEngine functional(state, ff, fc);
+  functional.step(steps);
+  const double want = functional.potential_energy();
+  EXPECT_LT(std::abs(sim.potential_energy() - want) / std::abs(want), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Values(1u, 7u, 42u));
+
 // --------------------------------------------------------- ring conservation
 
 struct FuzzTok {

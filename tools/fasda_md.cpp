@@ -27,6 +27,12 @@
 //   --cells XYZ        cells per FPGA (default = --space: single node)
 //   --pes N --spes N   strong-scaling variant (defaults 1, 1)
 //   --workers N        cycle-scheduler threads (default 1; 0 = all cores)
+//   --faults SPEC      lossy-fabric model + ack/retransmit recovery
+//                      (DESIGN.md section 10). SPEC is a comma list:
+//                      drop=0.05,dup=0.02,reorder=0.02,corrupt=0.01,seed=7,
+//                      dead=SRC-DST,dropk=SRC-DST-K. The trajectory stays
+//                      bitwise identical to the fault-free run; a dead link
+//                      terminates with a degraded-link error.
 
 #include <cstdio>
 #include <memory>
@@ -38,6 +44,7 @@
 #include "fasda/engine/registry.hpp"
 #include "fasda/md/checkpoint.hpp"
 #include "fasda/md/dataset.hpp"
+#include "fasda/sync/sync.hpp"
 #include "fasda/util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -53,6 +60,14 @@ int main(int argc, char** argv) {
   spec.pes_per_spe = static_cast<int>(cli.get_or("pes", 1L));
   spec.spes = static_cast<int>(cli.get_or("spes", 1L));
   spec.num_worker_threads = static_cast<int>(cli.get_or("workers", 1L));
+  if (auto faults = cli.get("faults")) {
+    try {
+      spec.faults = net::FaultPlan::parse(*faults);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
 
   const geom::IVec3 space = util::parse_dims(cli.get_or("space", "333"));
   const int per_cell = static_cast<int>(cli.get_or("per-cell", 64L));
@@ -102,7 +117,19 @@ int main(int argc, char** argv) {
     observers.push_back(&checkpoint.emplace(*path));
   }
 
-  const engine::RunResult result = engine::run(*eng, steps, sample, observers);
+  if (spec.faults && spec.engine != "cycle") {
+    std::fprintf(stderr, "--faults models the inter-FPGA fabric; it only "
+                         "applies to --engine cycle\n");
+    return 1;
+  }
+
+  engine::RunResult result;
+  try {
+    result = engine::run(*eng, steps, sample, observers);
+  } catch (const sync::DegradedLinkError& e) {
+    std::fprintf(stderr, "\n%s\n", e.what());
+    return 2;
+  }
 
   std::printf("\nwall time: %.2f s (%.1f ms/step)\n", result.wall_seconds,
               1000.0 * result.wall_seconds / steps);
@@ -122,6 +149,32 @@ int main(int argc, char** argv) {
     std::printf("  packets (pos/frc)   : %llu / %llu\n",
                 static_cast<unsigned long long>(m.position_packets),
                 static_cast<unsigned long long>(m.force_packets));
+  }
+  if (spec.faults) {
+    if (auto* cyc = dynamic_cast<const engine::CycleEngine*>(eng.get())) {
+      const net::LinkStats r = cyc->simulation().traffic().reliability_total;
+      std::printf("\nfabric reliability (all channels):\n");
+      std::printf("  injected faults     : %llu drop, %llu dup, %llu reorder, "
+                  "%llu corrupt\n",
+                  static_cast<unsigned long long>(r.injected_drops),
+                  static_cast<unsigned long long>(r.injected_dups),
+                  static_cast<unsigned long long>(r.injected_reorders),
+                  static_cast<unsigned long long>(r.injected_corrupts));
+      std::printf("  retransmits         : %llu (%llu timeouts, max retry "
+                  "depth %d)\n",
+                  static_cast<unsigned long long>(r.retransmits),
+                  static_cast<unsigned long long>(r.timeouts),
+                  r.max_retry_depth);
+      std::printf("  receiver            : %llu CRC failures, %llu duplicates "
+                  "discarded\n",
+                  static_cast<unsigned long long>(r.crc_failures),
+                  static_cast<unsigned long long>(r.duplicates_discarded));
+      std::printf("  control traffic     : %llu acks, %llu nacks\n",
+                  static_cast<unsigned long long>(r.acks_sent),
+                  static_cast<unsigned long long>(r.nacks_sent));
+      std::printf("  recovery cycles     : %llu\n",
+                  static_cast<unsigned long long>(r.recovery_cycles));
+    }
   }
   if (xyz) std::printf("trajectory: %d frames\n", xyz->frames_written());
   if (auto path = cli.get("checkpoint")) {
