@@ -42,6 +42,8 @@ Simulation::Simulation(const md::SystemState& state, md::ForceField ff,
         "cell edge, §3.4)");
   }
 
+  if (config_.faults) config_.faults->validate(map_.num_nodes());
+
   num_workers_ = effective_workers(config.num_worker_threads, map_.num_nodes());
   if (num_workers_ > 1) {
     // Parallel determinism needs every cross-shard element to expose only
@@ -93,6 +95,9 @@ Simulation::Simulation(const md::SystemState& state, md::ForceField ff,
     for (const auto& [straggler, factor] : config.stragglers) {
       if (straggler == id) per_node.slowdown = factor;
     }
+    if (config_.faults) {
+      per_node.node_faults = config_.faults->faults_for_node(id);
+    }
     nodes_.push_back(std::make_unique<fpga::FpgaNode>(
         id, per_node, *model_, map_, pos_fabric_.get(), frc_fabric_.get(),
         mig_fabric_.get(), barrier_.get()));
@@ -135,14 +140,36 @@ void Simulation::run(int iterations) {
   }
   const sim::Cycle budget =
       start + config_.max_cycles_per_iteration * static_cast<sim::Cycle>(iterations);
+  // A live node's heartbeat is at most a cycle or two stale; anything past
+  // this slack means the node has stopped ticking, so a degraded link whose
+  // peer is silent gets attributed to the dead *node*, not the wire.
+  constexpr sim::Cycle kNodeSilenceSlack = 64;
   scheduler_->run_until(
       [&] {
         // Evaluated on the caller's thread between cycles (workers idle),
         // so reading node state here is race-free and throwing is safe.
+        const sim::Cycle now = scheduler_->cycle();
         if (config_.faults) {
           for (const auto& node : nodes_) {
             if (auto deg = node->degraded_link()) {
+              const auto& peer = nodes_.at(
+                  static_cast<std::size_t>(deg->first.dst));
+              const sim::Cycle silent = now - peer->last_heartbeat();
+              if (!peer->done() && silent > kNodeSilenceSlack) {
+                throw sync::NodeFailureError(peer->id(), peer->phase_name(),
+                                             silent, now);
+              }
               throw sync::DegradedLinkError(deg->first, deg->second);
+            }
+          }
+        }
+        if (config_.watchdog_budget > 0) {
+          for (const auto& node : nodes_) {
+            if (node->done()) continue;
+            const sim::Cycle silent = now - node->last_heartbeat();
+            if (silent > config_.watchdog_budget) {
+              throw sync::NodeFailureError(node->id(), node->phase_name(),
+                                           silent, now);
             }
           }
         }

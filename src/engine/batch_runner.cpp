@@ -3,6 +3,7 @@
 #include <exception>
 #include <thread>
 
+#include "fasda/sync/sync.hpp"
 #include "fasda/util/stopwatch.hpp"
 
 namespace fasda::engine {
@@ -50,9 +51,20 @@ BatchReport BatchRunner::run(const std::vector<BatchJob>& jobs) {
         out.steps = ctx.total_steps();
         out.simulated_us = static_cast<double>(out.steps) * job.spec.dt * 1e-9;
         out.ok = true;
+      } catch (const sync::DegradedLinkError& e) {
+        out.ok = false;
+        out.error = e.what();
+        out.failure = ReplicaFailure::kDegradedLink;
+        out.failed_node = e.link().dst;
+      } catch (const sync::NodeFailureError& e) {
+        out.ok = false;
+        out.error = e.what();
+        out.failure = ReplicaFailure::kNodeFailure;
+        out.failed_node = e.node();
       } catch (const std::exception& e) {
         out.ok = false;
         out.error = e.what();
+        out.failure = ReplicaFailure::kOther;
       }
       out.seconds = replica_wall.seconds();
     }

@@ -104,6 +104,7 @@ core::ClusterConfig cluster_config_for(const EngineSpec& spec,
   c.num_worker_threads = spec.num_worker_threads;
   c.faults = spec.faults;
   c.reliability = spec.reliability;
+  if (spec.watchdog_budget > 0) c.watchdog_budget = spec.watchdog_budget;
   return c;
 }
 

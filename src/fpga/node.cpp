@@ -8,6 +8,19 @@ namespace {
 std::string node_name(NodeId id) { return "node" + std::to_string(id); }
 }  // namespace
 
+Gated::Gated(sim::Component* inner, int factor, const FpgaNode* owner)
+    : Component(inner->name() + "/gated"),
+      inner_(inner),
+      factor_(factor),
+      owner_(owner) {}
+
+void Gated::tick(sim::Cycle now) {
+  if (owner_ && !owner_->alive(now)) return;
+  if (factor_ <= 1 || now % static_cast<sim::Cycle>(factor_) == 0) {
+    inner_->tick(now);
+  }
+}
+
 // ------------------------------------------------------------- EX stations
 
 /// Position EX: arrivals only (positions depart through the P2R chain at
@@ -185,9 +198,12 @@ FpgaNode::~FpgaNode() = default;
 void FpgaNode::register_with(sim::Scheduler& scheduler) {
   const sim::ShardId shard_id = shard();
   scheduler.add(this, shard_id);
+  // With node faults injected, every datapath component goes through a
+  // liveness gate so a crashed board's rings/PEs freeze with it.
+  const FpgaNode* owner = config_.node_faults.empty() ? nullptr : this;
   auto add_datapath = [&](sim::Component* c) {
-    if (config_.slowdown > 1) {
-      gates_.push_back(std::make_unique<Gated>(c, config_.slowdown));
+    if (config_.slowdown > 1 || owner) {
+      gates_.push_back(std::make_unique<Gated>(c, config_.slowdown, owner));
       scheduler.add(gates_.back().get(), shard_id);
     } else {
       scheduler.add(c, shard_id);
@@ -228,7 +244,33 @@ void FpgaNode::start(int iterations, float dt_fs, double cell_size,
 
 // ---------------------------------------------------------------- per cycle
 
+bool FpgaNode::alive(sim::Cycle now) const {
+  for (const net::NodeFault& f : config_.node_faults) {
+    if (f.node != id_ || now < f.at) continue;
+    if (f.kind == net::NodeFaultKind::kStall) {
+      if (now < f.at + f.duration) return false;
+    } else {
+      return false;  // crash/hang: down from f.at until a supervisor rebuild
+    }
+  }
+  return true;
+}
+
+const char* FpgaNode::phase_name() const {
+  switch (state_) {
+    case State::kIdle: return "idle";
+    case State::kForce: return "force";
+    case State::kForceBarrier: return "force-barrier";
+    case State::kMotionUpdate: return "motion-update";
+    case State::kMuBarrier: return "mu-barrier";
+    case State::kDone: return "done";
+  }
+  return "unknown";
+}
+
 void FpgaNode::tick(sim::Cycle now) {
+  if (!alive(now)) return;
+  last_heartbeat_ = now;
   tick_protocol(now);
   tick_ingress(now);
   tick_fsm(now);

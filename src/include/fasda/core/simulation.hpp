@@ -45,9 +45,18 @@ struct ClusterConfig {
   std::vector<std::pair<idmap::NodeId, int>> stragglers;
   /// Attaching a FaultPlan (even all-zero rates) makes the fabrics lossy
   /// per the plan and arms the ack/retransmit protocol on every endpoint.
-  /// run() throws sync::DegradedLinkError if a link exhausts its retries.
+  /// run() throws sync::DegradedLinkError if a link exhausts its retries
+  /// and sync::NodeFailureError when a node stops ticking (plan node faults
+  /// or watchdog). Node/link ids are validated against the cluster shape.
   std::optional<net::FaultPlan> faults;
   net::ReliabilityConfig reliability{};
+  /// Watchdog over the chained-sync EX path: run() throws
+  /// sync::NodeFailureError once a node that is not done has gone this many
+  /// cycles without ticking (0 disables). A healthy node ticks every cycle
+  /// — its control tick is never straggler-gated — so fault-free runs can
+  /// never trip the watchdog at any budget >= 1; the default only needs to
+  /// beat max_cycles_per_iteration to fail fast instead of spinning.
+  sim::Cycle watchdog_budget = 50'000;
   sim::Cycle max_cycles_per_iteration = 4'000'000;
   /// Cycle-scheduler worker threads. 0 = auto (hardware concurrency),
   /// 1 = the exact old serial behaviour, N > 1 = node-sharded parallel

@@ -63,10 +63,18 @@ class ReplicaContext {
   long long steps_before_rebuilds_ = 0;
 };
 
+/// What took a failed replica down. Fabric/node failures are first-class:
+/// an ensemble screen keeps its surviving replicas and reports exactly
+/// which candidate hit a degraded link or a dead node.
+enum class ReplicaFailure { kNone, kDegradedLink, kNodeFailure, kOther };
+
 struct ReplicaResult {
   std::string label;
   bool ok = false;
   std::string error;  ///< exception text when !ok
+  ReplicaFailure failure = ReplicaFailure::kNone;
+  /// Failed node for kNodeFailure, degraded link's dst for kDegradedLink.
+  idmap::NodeId failed_node = -1;
   double score = 0;
   Energies final_energies;
   md::SystemState final_state;

@@ -50,6 +50,17 @@ struct Energies {
   double temperature = 0;  ///< K
 };
 
+/// Rollback point for supervised runs: the absolute step count plus the
+/// exported state. Rebuilding an engine with the same spec over `state`
+/// resumes the trajectory — bit-identically for the fixed-point back ends,
+/// whose Q2.28 cell-offset positions survive the export/import round trip
+/// exactly (supervisor::Supervisor's replay-parity guarantee rests on
+/// this; see DESIGN.md "Supervision and recovery").
+struct Checkpoint {
+  long long step = 0;
+  md::SystemState state;
+};
+
 /// Uniform stepping interface over the back ends. Implementations advance
 /// real particle data; step(n) then state() is the whole contract a driver
 /// needs, everything else is observation.
@@ -69,6 +80,13 @@ class Engine {
 
   /// Exports the current state as absolute double-precision coordinates.
   virtual md::SystemState state() const = 0;
+
+  /// Snapshot for rollback-and-replay. The default — step count + state()
+  /// — is complete for every built-in back end; a back end carrying extra
+  /// evolving state (thermostat history, RNG streams) must override.
+  virtual Checkpoint checkpoint() const {
+    return {metrics().steps_completed, state()};
+  }
 
   /// Forces from the most recent force evaluation (i.e. the last timestep),
   /// indexed by original particle id, widened losslessly to double for the

@@ -68,7 +68,9 @@ class XyzObserver final : public StepObserver {
 
 /// Remembers the most recent sample and saves it as a binary checkpoint on
 /// finish — because the final sample is always the final configuration,
-/// the file restarts the run exactly where it ended.
+/// the file restarts the run exactly where it ended. The save goes through
+/// md::save_checkpoint's tmp-then-rename path, so an interrupted write
+/// never leaves a torn restore point behind.
 class CheckpointObserver final : public StepObserver {
  public:
   explicit CheckpointObserver(std::string path);

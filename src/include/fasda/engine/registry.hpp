@@ -37,9 +37,12 @@ struct EngineSpec {
   net::ChannelConfig channel{};
   /// Lossy-fabric model (DESIGN.md §10). Attaching a plan arms the
   /// ack/retransmit protocol; stepping throws sync::DegradedLinkError if a
-  /// link exhausts its retries.
+  /// link exhausts its retries, sync::NodeFailureError if a node dies.
   std::optional<net::FaultPlan> faults;
   net::ReliabilityConfig reliability{};
+  /// Cycle-engine watchdog budget (DESIGN.md §11); 0 = keep the
+  /// ClusterConfig default.
+  sim::Cycle watchdog_budget = 0;
 };
 
 class Registry {

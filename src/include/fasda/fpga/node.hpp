@@ -34,22 +34,27 @@ struct NodeConfig {
   /// cluster or on none.
   bool reliable = false;
   net::ReliabilityConfig reliability{};
+  /// Injected node-level failures (crash/hang/stall) targeting this node;
+  /// core::Simulation distributes them from the cluster FaultPlan. While a
+  /// fault holds the node down, neither the control tick nor any datapath
+  /// component runs — the node simply stops, like a real board.
+  std::vector<net::NodeFault> node_faults;
 };
 
-/// Gates an inner component's tick to every k-th cycle.
+class FpgaNode;
+
+/// Gates an inner component's tick: skipped entirely while the owning node
+/// is down (crash/hang/stall injection), and thinned to every k-th cycle
+/// for a straggler board. Owner may be null for plain straggler gating.
 class Gated : public sim::Component {
  public:
-  Gated(sim::Component* inner, int factor)
-      : Component(inner->name() + "/gated"), inner_(inner), factor_(factor) {}
-  void tick(sim::Cycle now) override {
-    if (factor_ <= 1 || now % static_cast<sim::Cycle>(factor_) == 0) {
-      inner_->tick(now);
-    }
-  }
+  Gated(sim::Component* inner, int factor, const FpgaNode* owner);
+  void tick(sim::Cycle now) override;
 
  private:
   sim::Component* inner_;
   int factor_;
+  const FpgaNode* owner_;
 };
 
 class FpgaNode : public sim::Component {
@@ -81,6 +86,23 @@ class FpgaNode : public sim::Component {
 
   bool done() const { return state_ == State::kDone; }
   std::uint64_t iterations_completed() const { return iterations_completed_; }
+
+  /// Whether the node is up at `now` per the injected node faults: false
+  /// from a crash/hang cycle on, and inside a stall window. A down node
+  /// skips its entire tick (control and datapath), so alive() going false
+  /// is exactly "the board stopped".
+  bool alive(sim::Cycle now) const;
+
+  /// Cycle of the node's most recent tick while alive. A healthy node
+  /// ticks every cycle, so any staleness beyond a handful of cycles means
+  /// the node is down — the basis of core::Simulation's watchdog, with no
+  /// false positives by construction (the control tick is never gated by
+  /// the straggler slowdown).
+  sim::Cycle last_heartbeat() const { return last_heartbeat_; }
+
+  /// Human-readable FSM phase ("force", "motion-update", ...) for the
+  /// watchdog's NodeFailureError diagnostics.
+  const char* phase_name() const;
 
   /// Cycle at which each force phase started (head-start measurements).
   const std::vector<sim::Cycle>& force_phase_starts() const {
@@ -187,6 +209,7 @@ class FpgaNode : public sim::Component {
   std::uint64_t barrier_seq_ = 0;
 
   State state_ = State::kIdle;
+  sim::Cycle last_heartbeat_ = 0;
   bool armed_ = false;
   int target_iterations_ = 0;
   std::uint64_t iterations_completed_ = 0;

@@ -1,7 +1,8 @@
 #pragma once
 // Binary checkpoint/restart for SystemState: exact round trip of positions,
 // velocities and elements (XYZ trajectories drop velocities, so they cannot
-// restart a leapfrog run bit-exactly). Little-endian, versioned header.
+// restart a leapfrog run bit-exactly). Little-endian, versioned header,
+// CRC-32 footer (format v2; v1 files without the footer still load).
 
 #include <iosfwd>
 #include <string>
@@ -11,9 +12,12 @@
 namespace fasda::md {
 
 void save_checkpoint(std::ostream& out, const SystemState& state);
+/// Writes to `path + ".tmp"` then atomically renames, so a crash mid-write
+/// never replaces a good checkpoint with a torn one.
 void save_checkpoint(const std::string& path, const SystemState& state);
 
-/// Throws std::runtime_error on bad magic/version/truncation.
+/// Throws std::runtime_error on bad magic/version/truncation, and on a
+/// CRC-footer mismatch (torn or corrupt file) for v2 checkpoints.
 SystemState load_checkpoint(std::istream& in);
 SystemState load_checkpoint(const std::string& path);
 

@@ -20,15 +20,19 @@
 // rather than hanging until the cycle budget trips.
 
 #include <cstdint>
+#include <limits>
 #include <map>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "fasda/idmap/cell_id_map.hpp"
 #include "fasda/sim/kernel.hpp"
+#include "fasda/util/crc32.hpp"
 #include "fasda/util/rng.hpp"
 
 namespace fasda::net {
@@ -50,6 +54,34 @@ struct LinkFaults {
   }
 };
 
+/// Node-level failure modes (PR 4). All three stop the node's tick — the
+/// crashed FpgaNode simply never runs again, so its heartbeat goes stale —
+/// but they differ in what the wire sees and whether a board reboot clears
+/// the fault:
+///
+///   kCrash  power loss: the node stops ticking AND its links go down (the
+///           fabric drops everything to/from it from `at` on). Transient
+///           unless `permanent` — the supervisor's restart models a reboot
+///           by removing transient faults from the plan.
+///   kHang   firmware wedge: the node stops ticking but the NIC stays up —
+///           inbound packets pile up unprocessed, so no acks ever flow and
+///           neighbours' retransmit timers eventually give up.
+///   kStall  transient pause (SEU scrub, thermal throttle): dead for
+///           `duration` cycles starting at `at`, then resumes; the
+///           retransmit protocol absorbs the gap without any supervisor
+///           intervention.
+enum class NodeFaultKind : std::uint8_t { kCrash, kHang, kStall };
+
+struct NodeFault {
+  NodeFaultKind kind = NodeFaultKind::kCrash;
+  NodeId node = -1;
+  sim::Cycle at = 0;        ///< scheduler cycle the fault fires
+  sim::Cycle duration = 0;  ///< kStall only: cycles until the node resumes
+  /// kCrash only: the board is gone for good — a supervisor restart keeps
+  /// the fault armed and must re-shard around the node instead.
+  bool permanent = false;
+};
+
 /// A seeded description of every fault the fabric should inject. Attaching
 /// a FaultPlan (even an all-zero one) arms the ack/retransmit protocol on
 /// every endpoint; the all-zero plan is the "protocol on, wire perfect"
@@ -61,6 +93,10 @@ struct FaultPlan {
   /// Deterministic triggers: drop the k-th data packet (0-based, counted at
   /// the fabric) on a specific link, regardless of the random rates.
   std::map<Link, std::set<std::uint64_t>> drop_exact;
+  /// Node-level triggers, keyed on (node, cycle) only — like the per-link
+  /// streams they are independent of traffic interleaving, so a crash fires
+  /// at the same point for any worker count.
+  std::vector<NodeFault> node_faults;
 
   const LinkFaults& faults_for(NodeId src, NodeId dst) const {
     const auto it = per_link.find({src, dst});
@@ -71,9 +107,40 @@ struct FaultPlan {
     return faults_for(src, dst).any() || drop_exact.count({src, dst}) > 0;
   }
 
+  bool has_node_faults() const { return !node_faults.empty(); }
+
+  std::vector<NodeFault> faults_for_node(NodeId node) const {
+    std::vector<NodeFault> out;
+    for (const NodeFault& f : node_faults) {
+      if (f.node == node) out.push_back(f);
+    }
+    return out;
+  }
+
+  /// Earliest cycle from which a crash takes this node's links down.
+  /// Hang and stall leave the NIC up: packets keep arriving and queue in
+  /// the endpoint until the node ticks again (or forever, for a hang).
+  std::optional<sim::Cycle> node_links_down_at(NodeId node) const {
+    std::optional<sim::Cycle> at;
+    for (const NodeFault& f : node_faults) {
+      if (f.node == node && f.kind == NodeFaultKind::kCrash &&
+          (!at || f.at < *at)) {
+        at = f.at;
+      }
+    }
+    return at;
+  }
+
+  /// Rejects node/link ids outside [0, num_nodes) with a diagnostic naming
+  /// the bad id. core::Simulation calls this before building the cluster.
+  void validate(int num_nodes) const;
+
   /// Parses the CLI spec used by `--faults`, a comma list of key=value:
   ///   drop=0.05,dup=0.02,reorder=0.02,corrupt=0.01,seed=7,dead=0-1
-  /// dead may repeat; dropk=SRC-DST-K adds an exact drop trigger.
+  /// dead may repeat; dropk=SRC-DST-K adds an exact drop trigger. Node
+  /// faults: crash=NODE-CYCLE (transient crash), die=NODE-CYCLE (permanent
+  /// crash), hang=NODE-CYCLE, stall=NODE-CYCLE-CYCLES. Malformed or unknown
+  /// tokens throw std::invalid_argument naming the bad token.
   static FaultPlan parse(std::string_view spec);
 };
 
@@ -140,32 +207,10 @@ struct DegradedLink {
   int retries = 0;
 };
 
-/// CRC-32 (reflected 0xEDB88320) fed field-by-field so struct padding never
-/// enters the digest. Cheap bitwise implementation — the simulator hashes a
-/// few dozen bytes per packet, not line-rate traffic.
-class Crc32 {
- public:
-  void add_bytes(const void* data, std::size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-      crc_ ^= p[i];
-      for (int b = 0; b < 8; ++b) {
-        crc_ = (crc_ >> 1) ^ (0xEDB88320u & (0u - (crc_ & 1u)));
-      }
-    }
-  }
-
-  template <class T>
-  void add(const T& v) {
-    static_assert(std::is_arithmetic_v<T>, "hash scalar fields only");
-    add_bytes(&v, sizeof v);
-  }
-
-  std::uint32_t value() const { return ~crc_; }
-
- private:
-  std::uint32_t crc_ = 0xFFFFFFFFu;
-};
+/// Packet digests use the shared CRC-32 (fed field-by-field so struct
+/// padding never enters the digest); md's checkpoint footer hashes with the
+/// same implementation.
+using Crc32 = util::Crc32;
 
 /// Per-channel salts mixing into link_seed so the position, force and
 /// migration fabrics draw independent fault streams from one plan seed.
@@ -186,17 +231,104 @@ inline std::uint64_t link_seed(std::uint64_t plan_seed, std::uint64_t salt,
 
 // ---------------------------------------------------------------- parsing
 
+inline void FaultPlan::validate(int num_nodes) const {
+  auto check = [&](NodeId id, const std::string& what) {
+    if (id < 0 || id >= num_nodes) {
+      throw std::invalid_argument(
+          "FaultPlan: " + what + " node id " + std::to_string(id) +
+          " out of range for a " + std::to_string(num_nodes) + "-node cluster");
+    }
+  };
+  for (const auto& [link, faults] : per_link) {
+    check(link.first, "per-link src");
+    check(link.second, "per-link dst");
+  }
+  for (const auto& [link, seqs] : drop_exact) {
+    check(link.first, "drop-exact src");
+    check(link.second, "drop-exact dst");
+  }
+  for (const NodeFault& f : node_faults) check(f.node, "node-fault");
+}
+
 inline FaultPlan FaultPlan::parse(std::string_view spec) {
   FaultPlan plan;
   auto fail = [&](const std::string& why) {
     throw std::invalid_argument("FaultPlan: " + why + " in --faults spec '" +
                                 std::string(spec) + "'");
   };
-  auto parse_link = [&](std::string_view v) -> Link {
-    const auto dash = v.find('-');
-    if (dash == std::string_view::npos) fail("expected SRC-DST");
-    return {static_cast<NodeId>(std::stol(std::string(v.substr(0, dash)))),
-            static_cast<NodeId>(std::stol(std::string(v.substr(dash + 1))))};
+  // Strict numeric tokens: the whole token must parse (no trailing garbage,
+  // no silent overflow) or the diagnostic names it.
+  auto parse_u64 = [&](const std::string& v,
+                       std::string_view key) -> std::uint64_t {
+    try {
+      if (v.empty() || v[0] == '-' || v[0] == '+') throw std::invalid_argument(v);
+      std::size_t used = 0;
+      const unsigned long long n = std::stoull(v, &used);
+      if (used != v.size()) throw std::invalid_argument(v);
+      return n;
+    } catch (const std::exception&) {
+      fail("bad value '" + v + "' for key '" + std::string(key) + "'");
+    }
+    return 0;  // unreachable: fail() throws
+  };
+  auto parse_node = [&](const std::string& v, std::string_view key) -> NodeId {
+    const std::uint64_t n = parse_u64(v, key);
+    if (n > static_cast<std::uint64_t>(std::numeric_limits<NodeId>::max())) {
+      fail("node id '" + v + "' out of range for key '" + std::string(key) +
+           "'");
+    }
+    return static_cast<NodeId>(n);
+  };
+  auto parse_rate = [&](const std::string& v, std::string_view key) -> double {
+    double rate = 0.0;
+    try {
+      std::size_t used = 0;
+      rate = std::stod(v, &used);
+      if (used != v.size()) throw std::invalid_argument(v);
+    } catch (const std::exception&) {
+      fail("bad value '" + v + "' for key '" + std::string(key) + "'");
+    }
+    if (rate < 0.0 || rate > 1.0) {
+      fail("rate '" + v + "' for key '" + std::string(key) +
+           "' must be in [0, 1]");
+    }
+    return rate;
+  };
+  // Splits "A-B" or "A-B-C" into exactly `n` fields.
+  auto split_fields = [&](const std::string& v, std::size_t n,
+                          std::string_view key,
+                          const char* shape) -> std::vector<std::string> {
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+      const auto dash = v.find('-', start);
+      if (dash == std::string::npos) {
+        fields.push_back(v.substr(start));
+        break;
+      }
+      fields.push_back(v.substr(start, dash - start));
+      start = dash + 1;
+    }
+    if (fields.size() != n) {
+      fail(std::string(key) + " expects " + shape + ", got '" + v + "'");
+    }
+    return fields;
+  };
+  auto parse_node_fault = [&](const std::string& v, std::string_view key,
+                              NodeFaultKind kind, bool permanent) {
+    const bool stall = kind == NodeFaultKind::kStall;
+    const auto f = split_fields(v, stall ? 3 : 2, key,
+                                stall ? "NODE-CYCLE-CYCLES" : "NODE-CYCLE");
+    NodeFault nf;
+    nf.kind = kind;
+    nf.permanent = permanent;
+    nf.node = parse_node(f[0], key);
+    nf.at = static_cast<sim::Cycle>(parse_u64(f[1], key));
+    if (stall) {
+      nf.duration = static_cast<sim::Cycle>(parse_u64(f[2], key));
+      if (nf.duration == 0) fail("stall duration must be > 0 in '" + v + "'");
+    }
+    plan.node_faults.push_back(nf);
   };
   std::size_t pos = 0;
   while (pos < spec.size()) {
@@ -206,35 +338,37 @@ inline FaultPlan FaultPlan::parse(std::string_view spec) {
     pos = comma + 1;
     if (item.empty()) continue;
     const auto eq = item.find('=');
-    if (eq == std::string_view::npos) fail("expected key=value");
+    if (eq == std::string_view::npos) {
+      fail("expected key=value, got '" + std::string(item) + "'");
+    }
     const std::string_view key = item.substr(0, eq);
     const std::string value(item.substr(eq + 1));
-    try {
-      if (key == "drop") plan.all.drop = std::stod(value);
-      else if (key == "dup") plan.all.dup = std::stod(value);
-      else if (key == "reorder") plan.all.reorder = std::stod(value);
-      else if (key == "corrupt") plan.all.corrupt = std::stod(value);
-      else if (key == "seed") plan.seed = std::stoull(value);
-      else if (key == "dead") {
-        const Link link = parse_link(value);
-        LinkFaults lf = plan.faults_for(link.first, link.second);
-        lf.dead = true;
-        plan.per_link[link] = lf;
-      } else if (key == "dropk") {
-        const auto d2 = value.rfind('-');
-        if (d2 == std::string::npos || d2 == 0) fail("dropk expects SRC-DST-K");
-        const Link link = parse_link(std::string_view(value).substr(0, d2));
-        plan.drop_exact[link].insert(std::stoull(value.substr(d2 + 1)));
-      } else {
-        fail("unknown key '" + std::string(key) + "'");
-      }
-    } catch (const std::invalid_argument&) {
-      fail("bad value '" + value + "' for key '" + std::string(key) + "'");
+    if (key == "drop") plan.all.drop = parse_rate(value, key);
+    else if (key == "dup") plan.all.dup = parse_rate(value, key);
+    else if (key == "reorder") plan.all.reorder = parse_rate(value, key);
+    else if (key == "corrupt") plan.all.corrupt = parse_rate(value, key);
+    else if (key == "seed") plan.seed = parse_u64(value, key);
+    else if (key == "dead") {
+      const auto f = split_fields(value, 2, key, "SRC-DST");
+      const Link link{parse_node(f[0], key), parse_node(f[1], key)};
+      LinkFaults lf = plan.faults_for(link.first, link.second);
+      lf.dead = true;
+      plan.per_link[link] = lf;
+    } else if (key == "dropk") {
+      const auto f = split_fields(value, 3, key, "SRC-DST-K");
+      const Link link{parse_node(f[0], key), parse_node(f[1], key)};
+      plan.drop_exact[link].insert(parse_u64(f[2], key));
+    } else if (key == "crash") {
+      parse_node_fault(value, key, NodeFaultKind::kCrash, false);
+    } else if (key == "die") {
+      parse_node_fault(value, key, NodeFaultKind::kCrash, true);
+    } else if (key == "hang") {
+      parse_node_fault(value, key, NodeFaultKind::kHang, false);
+    } else if (key == "stall") {
+      parse_node_fault(value, key, NodeFaultKind::kStall, false);
+    } else {
+      fail("unknown key '" + std::string(key) + "'");
     }
-  }
-  for (double rate : {plan.all.drop, plan.all.dup, plan.all.reorder,
-                      plan.all.corrupt}) {
-    if (rate < 0.0 || rate > 1.0) fail("rates must be in [0, 1]");
   }
   return plan;
 }

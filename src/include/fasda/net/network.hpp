@@ -676,6 +676,18 @@ class Fabric : public sim::Clocked {
   void apply_faults(Staged& s) {
     const NodeId src = s.packet.src;
     const NodeId dst = s.packet.dst;
+    // A crashed node's switch port is down: everything addressed to it
+    // disappears at the fabric from the crash cycle on. (Nothing departs a
+    // crashed node — it no longer ticks — so only the destination side
+    // needs checking; a hang or stall leaves the NIC up and packets queue
+    // in the endpoint instead.)
+    if (plan_->has_node_faults()) {
+      const auto down = plan_->node_links_down_at(dst);
+      if (down && s.arrival >= *down) {
+        ++fault_stats_[{src, dst}].injected_drops;
+        return;
+      }
+    }
     const LinkFaults& lf = plan_->faults_for(src, dst);
     const auto exact_it = plan_->drop_exact.find({src, dst});
     const bool has_exact = exact_it != plan_->drop_exact.end();

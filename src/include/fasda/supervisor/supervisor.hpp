@@ -1,0 +1,112 @@
+#pragma once
+// Node-level fault tolerance: supervision and recovery (DESIGN.md §11).
+//
+// supervisor::Supervisor wraps any engine::Engine behind the registry with
+// a periodic-checkpoint + rollback-and-replay policy. It steps the engine
+// in checkpoint-sized blocks; after each block it snapshots the exported
+// state. When a block throws sync::NodeFailureError (a node crashed or
+// hung) or sync::DegradedLinkError (a link died while its peer kept
+// ticking), the supervisor records the incident, backs off, and rebuilds
+// the engine over the last checkpoint:
+//
+//   * transient fault  — same topology; the restart models a board reboot
+//     by removing the failed node's non-permanent faults from the plan.
+//   * permanent death  — the same node implicated twice in a row. With
+//     allow_degraded the cluster is re-sharded onto fewer FPGA nodes
+//     (cells_per_node grows, node_dims shrinks) and the run completes in
+//     degraded mode; otherwise the restarts just burn out.
+//
+// Restart attempts are bounded; on exhaustion run() returns an incomplete
+// RunReport carrying every incident and the final error. Because positions
+// are Q2.28 cell offsets (exported and re-imported exactly) and the FC
+// accumulates in order-independent Q15.48, a run crashed at an arbitrary
+// cycle and replayed from checkpoint is bitwise identical to the
+// uninterrupted run — tests/supervisor_test.cpp proves it for 1/2/4
+// workers.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "fasda/engine/observers.hpp"
+#include "fasda/engine/registry.hpp"
+
+namespace fasda::supervisor {
+
+struct SupervisorConfig {
+  /// Timesteps between checkpoints (the rollback granularity); <= 0 means
+  /// one checkpoint at the end (restart-from-scratch on failure).
+  int checkpoint_every = 1;
+  /// Engine rebuilds before giving up (the degraded re-shard counts).
+  int max_restarts = 3;
+  /// Wall-clock backoff before restart k: initial · 2^(k-1), capped. The
+  /// default skips sleeping entirely — simulated boards reboot instantly;
+  /// a real deployment would set seconds here.
+  std::chrono::milliseconds backoff_initial{0};
+  std::chrono::milliseconds backoff_cap{1000};
+  /// Permit the degraded re-shard onto surviving nodes when the same node
+  /// dies twice in a row (permanent death). Off by default: shrinking the
+  /// cluster changes the topology, which callers must opt into.
+  bool allow_degraded = false;
+  /// Optional on-disk mirror of every checkpoint (atomic tmp+rename via
+  /// md::save_checkpoint); empty = in-memory only.
+  std::string checkpoint_path;
+};
+
+enum class IncidentKind { kNodeFailure, kDegradedLink, kOther };
+
+/// One failure the supervisor observed and reacted to.
+struct Incident {
+  int attempt = 0;  ///< 1-based engine build the failure occurred on
+  IncidentKind kind = IncidentKind::kOther;
+  /// Failed node: the unresponsive node for kNodeFailure, the degraded
+  /// link's destination for kDegradedLink, -1 otherwise.
+  idmap::NodeId node = -1;
+  std::string phase;     ///< FSM phase a failed node stalled in (if known)
+  long long at_step = 0; ///< checkpointed step the run rolled back to
+  std::string error;     ///< the exception text
+  bool recovered = false;       ///< a later attempt stepped past it
+  bool caused_reshard = false;  ///< this incident triggered the re-shard
+};
+
+struct RunReport {
+  bool completed = false;
+  bool degraded = false;  ///< finished on a re-sharded topology
+  int restarts = 0;
+  long long steps = 0;  ///< timesteps actually banked in checkpoints
+  int checkpoints_taken = 0;
+  std::vector<Incident> incidents;
+  md::SystemState final_state;
+  engine::Energies final_energies;
+  std::string final_error;  ///< set when !completed
+};
+
+class Supervisor {
+ public:
+  Supervisor(md::SystemState initial, md::ForceField ff,
+             engine::EngineSpec spec, SupervisorConfig config = {},
+             const engine::Registry& registry = engine::Registry::instance());
+
+  /// Runs `steps` timesteps under supervision. Observers see the step-0
+  /// sample once, then one sample per banked checkpoint — a rolled-back
+  /// block was never sampled, so recovery never duplicates or reorders
+  /// observer frames. Only gives up by returning (never throws for the
+  /// failures it supervises); unrelated exceptions propagate.
+  RunReport run(int steps,
+                const std::vector<engine::StepObserver*>& observers = {});
+
+  /// The spec the next engine build will use (reflects fault removals and
+  /// the degraded re-shard).
+  const engine::EngineSpec& spec() const { return spec_; }
+
+ private:
+  bool reshard();  ///< shrink the topology; false if already 1 node
+
+  md::SystemState initial_;
+  md::ForceField ff_;
+  engine::EngineSpec spec_;
+  SupervisorConfig config_;
+  const engine::Registry& registry_;
+};
+
+}  // namespace fasda::supervisor

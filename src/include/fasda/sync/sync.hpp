@@ -53,6 +53,40 @@ class DegradedLinkError : public std::runtime_error {
   std::string channel_;
 };
 
+/// Raised when an FPGA node itself stops making progress: its per-cycle
+/// heartbeat (FpgaNode::tick stamps the current cycle whenever the node is
+/// alive) has gone stale past the watchdog budget, or the retransmit
+/// protocol degraded a link whose destination node is no longer ticking —
+/// the node died, not the wire. Carries which node, which FSM phase it
+/// stalled in, and for how many cycles. Like DegradedLinkError this is
+/// thrown by core::Simulation::run on the caller's thread between scheduler
+/// cycles, never from inside a worker tick.
+class NodeFailureError : public std::runtime_error {
+ public:
+  NodeFailureError(int node, std::string phase, sim::Cycle cycles_stalled,
+                   sim::Cycle detected_at)
+      : std::runtime_error("sync: node " + std::to_string(node) +
+                           " unresponsive in phase '" + phase + "' for " +
+                           std::to_string(cycles_stalled) +
+                           " cycles (detected at cycle " +
+                           std::to_string(detected_at) + ")"),
+        node_(node),
+        phase_(std::move(phase)),
+        cycles_stalled_(cycles_stalled),
+        detected_at_(detected_at) {}
+
+  int node() const { return node_; }
+  const std::string& phase() const { return phase_; }
+  sim::Cycle cycles_stalled() const { return cycles_stalled_; }
+  sim::Cycle detected_at() const { return detected_at_; }
+
+ private:
+  int node_;
+  std::string phase_;
+  sim::Cycle cycles_stalled_;
+  sim::Cycle detected_at_;
+};
+
 /// Per-node signal counters for one iteration.
 class ChainedSync {
  public:

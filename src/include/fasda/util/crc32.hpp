@@ -1,0 +1,37 @@
+#pragma once
+// CRC-32 (reflected 0xEDB88320) fed field-by-field so struct padding never
+// enters the digest. Cheap bitwise implementation — callers hash a few dozen
+// bytes per packet or one checkpoint per run, not line-rate traffic. Shared
+// by the fabric's packet digests (net) and the checkpoint footer (md).
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace fasda::util {
+
+class Crc32 {
+ public:
+  void add_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      crc_ ^= p[i];
+      for (int b = 0; b < 8; ++b) {
+        crc_ = (crc_ >> 1) ^ (0xEDB88320u & (0u - (crc_ & 1u)));
+      }
+    }
+  }
+
+  template <class T>
+  void add(const T& v) {
+    static_assert(std::is_arithmetic_v<T>, "hash scalar fields only");
+    add_bytes(&v, sizeof v);
+  }
+
+  std::uint32_t value() const { return ~crc_; }
+
+ private:
+  std::uint32_t crc_ = 0xFFFFFFFFu;
+};
+
+}  // namespace fasda::util

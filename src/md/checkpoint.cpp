@@ -1,20 +1,53 @@
 #include "fasda/md/checkpoint.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#include "fasda/util/crc32.hpp"
 
 namespace fasda::md {
 
 namespace {
 
 constexpr char kMagic[8] = {'F', 'A', 'S', 'D', 'A', 'C', 'K', 'P'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 appends a CRC-32 footer over everything after the version field,
+// so a torn or bit-flipped file fails loudly instead of restarting a run
+// from garbage. Version-1 files (no footer) still load.
+constexpr std::uint32_t kVersion = 2;
 
-template <class T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
+/// Streams PODs while folding the same bytes into a running CRC, so the
+/// footer check needs no buffering and covers every payload field.
+struct HashingWriter {
+  std::ostream& out;
+  util::Crc32 crc;
+
+  template <class T>
+  void pod(const T& value) {
+    bytes(&value, sizeof(T));
+  }
+  void bytes(const void* data, std::size_t n) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(n));
+    crc.add_bytes(data, n);
+  }
+};
+
+struct HashingReader {
+  std::istream& in;
+  util::Crc32 crc;
+
+  template <class T>
+  void pod(T& value) {
+    bytes(&value, sizeof(T));
+  }
+  void bytes(void* data, std::size_t n) {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (!in) throw std::runtime_error("checkpoint: truncated stream");
+    crc.add_bytes(data, n);
+  }
+};
 
 template <class T>
 void read_pod(std::istream& in, T& value) {
@@ -26,31 +59,49 @@ void read_pod(std::istream& in, T& value) {
 
 void save_checkpoint(std::ostream& out, const SystemState& state) {
   out.write(kMagic, sizeof(kMagic));
-  write_pod(out, kVersion);
-  write_pod(out, state.cell_dims.x);
-  write_pod(out, state.cell_dims.y);
-  write_pod(out, state.cell_dims.z);
-  write_pod(out, state.cell_size);
+  const std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  HashingWriter w{out, {}};
+  w.pod(state.cell_dims.x);
+  w.pod(state.cell_dims.y);
+  w.pod(state.cell_dims.z);
+  w.pod(state.cell_size);
   const auto count = static_cast<std::uint64_t>(state.size());
-  write_pod(out, count);
+  w.pod(count);
   for (const auto& p : state.positions) {
-    write_pod(out, p.x);
-    write_pod(out, p.y);
-    write_pod(out, p.z);
+    w.pod(p.x);
+    w.pod(p.y);
+    w.pod(p.z);
   }
   for (const auto& v : state.velocities) {
-    write_pod(out, v.x);
-    write_pod(out, v.y);
-    write_pod(out, v.z);
+    w.pod(v.x);
+    w.pod(v.y);
+    w.pod(v.z);
   }
-  out.write(reinterpret_cast<const char*>(state.elements.data()),
-            static_cast<std::streamsize>(state.elements.size()));
+  w.bytes(state.elements.data(), state.elements.size());
+  const std::uint32_t footer = w.crc.value();
+  out.write(reinterpret_cast<const char*>(&footer), sizeof(footer));
 }
 
 void save_checkpoint(const std::string& path, const SystemState& state) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
-  save_checkpoint(out, state);
+  // Write-to-temp then atomic rename: a crash mid-write leaves the previous
+  // checkpoint intact instead of a torn file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot open " + tmp);
+    save_checkpoint(out, state);
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("checkpoint: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
+                             path);
+  }
 }
 
 SystemState load_checkpoint(std::istream& in) {
@@ -61,32 +112,41 @@ SystemState load_checkpoint(std::istream& in) {
   }
   std::uint32_t version = 0;
   read_pod(in, version);
-  if (version != kVersion) {
-    throw std::runtime_error("checkpoint: unsupported version");
+  if (version != 1 && version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version));
   }
+  HashingReader r{in, {}};
   SystemState state;
-  read_pod(in, state.cell_dims.x);
-  read_pod(in, state.cell_dims.y);
-  read_pod(in, state.cell_dims.z);
-  read_pod(in, state.cell_size);
+  r.pod(state.cell_dims.x);
+  r.pod(state.cell_dims.y);
+  r.pod(state.cell_dims.z);
+  r.pod(state.cell_size);
   std::uint64_t count = 0;
-  read_pod(in, count);
+  r.pod(count);
   state.positions.resize(count);
   state.velocities.resize(count);
   state.elements.resize(count);
   for (auto& p : state.positions) {
-    read_pod(in, p.x);
-    read_pod(in, p.y);
-    read_pod(in, p.z);
+    r.pod(p.x);
+    r.pod(p.y);
+    r.pod(p.z);
   }
   for (auto& v : state.velocities) {
-    read_pod(in, v.x);
-    read_pod(in, v.y);
-    read_pod(in, v.z);
+    r.pod(v.x);
+    r.pod(v.y);
+    r.pod(v.z);
   }
-  in.read(reinterpret_cast<char*>(state.elements.data()),
-          static_cast<std::streamsize>(count));
-  if (!in) throw std::runtime_error("checkpoint: truncated stream");
+  r.bytes(state.elements.data(), count);
+  if (version >= 2) {
+    std::uint32_t footer = 0;
+    read_pod(in, footer);
+    if (footer != r.crc.value()) {
+      throw std::runtime_error(
+          "checkpoint: CRC mismatch — the file is torn or corrupt; restore "
+          "from the previous checkpoint");
+    }
+  }
   return state;
 }
 

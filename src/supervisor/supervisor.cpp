@@ -1,0 +1,167 @@
+#include "fasda/supervisor/supervisor.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "fasda/md/checkpoint.hpp"
+#include "fasda/sync/sync.hpp"
+
+namespace fasda::supervisor {
+
+Supervisor::Supervisor(md::SystemState initial, md::ForceField ff,
+                       engine::EngineSpec spec, SupervisorConfig config,
+                       const engine::Registry& registry)
+    : initial_(std::move(initial)),
+      ff_(std::move(ff)),
+      spec_(std::move(spec)),
+      config_(config),
+      registry_(registry) {}
+
+bool Supervisor::reshard() {
+  geom::IVec3 cells = spec_.cells_per_node.value_or(initial_.cell_dims);
+  const int node_count[3] = {initial_.cell_dims.x / cells.x,
+                             initial_.cell_dims.y / cells.y,
+                             initial_.cell_dims.z / cells.z};
+  int* cells_axis[3] = {&cells.x, &cells.y, &cells.z};
+  // Fold the axis with the most FPGA nodes onto fewer boards: halve it when
+  // even, otherwise collapse it entirely. Every surviving node absorbs a
+  // larger cell block; the physics is unchanged (same cells, same cutoff).
+  int best = 0;
+  for (int a = 1; a < 3; ++a) {
+    if (node_count[a] > node_count[best]) best = a;
+  }
+  if (node_count[best] <= 1) return false;  // already a single node
+  *cells_axis[best] *= node_count[best] % 2 == 0 ? 2 : node_count[best];
+  spec_.cells_per_node = cells;
+  // Node ids renumber in the shrunken cluster and the dead board is out of
+  // it: node- and link-specific fault entries no longer name anything, so
+  // drop them. The global lossy-wire rates keep applying.
+  if (spec_.faults) {
+    spec_.faults->node_faults.clear();
+    spec_.faults->per_link.clear();
+    spec_.faults->drop_exact.clear();
+  }
+  return true;
+}
+
+RunReport Supervisor::run(int steps,
+                          const std::vector<engine::StepObserver*>& observers) {
+  RunReport report;
+  engine::Checkpoint ckpt{0, initial_};
+  std::unique_ptr<engine::Engine> engine =
+      registry_.create(ckpt.state, ff_, spec_);
+
+  {
+    const engine::Energies e = engine->energies();
+    for (engine::StepObserver* obs : observers) {
+      obs->on_sample(0, ckpt.state, e);
+    }
+  }
+
+  const int block_size =
+      config_.checkpoint_every > 0 ? config_.checkpoint_every
+                                   : std::max(steps, 1);
+  int attempt = 1;
+  idmap::NodeId last_failed = -1;
+
+  auto backoff = [&] {
+    if (config_.backoff_initial.count() <= 0) return;
+    auto delay =
+        config_.backoff_initial *
+        (1LL << std::min(report.restarts - 1, 20));
+    if (delay > config_.backoff_cap) delay = config_.backoff_cap;
+    std::this_thread::sleep_for(delay);
+  };
+
+  // Records the incident and decides the reaction. Returns false when the
+  // restart budget is spent (give up); true after preparing spec_ for the
+  // next build (reboot = transient faults cleared, or degraded re-shard
+  // when the same node died twice in a row and the caller allowed it).
+  auto on_failure = [&](IncidentKind kind, idmap::NodeId node,
+                        std::string phase, const std::string& what) -> bool {
+    Incident inc;
+    inc.attempt = attempt;
+    inc.kind = kind;
+    inc.node = node;
+    inc.phase = std::move(phase);
+    inc.at_step = ckpt.step;
+    inc.error = what;
+    report.incidents.push_back(inc);
+
+    if (report.restarts >= config_.max_restarts) {
+      report.final_error = what;
+      return false;
+    }
+    ++report.restarts;
+    ++attempt;
+    backoff();
+
+    const bool repeat = node >= 0 && node == last_failed;
+    last_failed = node;
+    if (repeat && config_.allow_degraded && !report.degraded && reshard()) {
+      report.degraded = true;
+      report.incidents.back().caused_reshard = true;
+      return true;
+    }
+    // Same-topology restart: the board rebooted, which clears its transient
+    // faults; permanent ones stay armed (and will implicate it again).
+    if (spec_.faults && node >= 0) {
+      auto& nf = spec_.faults->node_faults;
+      nf.erase(std::remove_if(nf.begin(), nf.end(),
+                              [&](const net::NodeFault& f) {
+                                return f.node == node && !f.permanent;
+                              }),
+               nf.end());
+    }
+    return true;
+  };
+
+  while (ckpt.step < steps) {
+    const int block = static_cast<int>(
+        std::min<long long>(block_size, steps - ckpt.step));
+    try {
+      engine->step(block);
+    } catch (const sync::NodeFailureError& e) {
+      if (!on_failure(IncidentKind::kNodeFailure, e.node(), e.phase(),
+                      e.what())) {
+        report.steps = ckpt.step;
+        report.final_state = ckpt.state;
+        return report;
+      }
+      engine = registry_.create(ckpt.state, ff_, spec_);
+      continue;
+    } catch (const sync::DegradedLinkError& e) {
+      if (!on_failure(IncidentKind::kDegradedLink, e.link().dst, "",
+                      e.what())) {
+        report.steps = ckpt.step;
+        report.final_state = ckpt.state;
+        return report;
+      }
+      engine = registry_.create(ckpt.state, ff_, spec_);
+      continue;
+    }
+
+    // Bank the block: everything before this point is durable now.
+    ckpt.step += block;
+    ckpt.state = engine->state();
+    ++report.checkpoints_taken;
+    report.steps = ckpt.step;
+    for (Incident& inc : report.incidents) inc.recovered = true;
+    if (!config_.checkpoint_path.empty()) {
+      md::save_checkpoint(config_.checkpoint_path, ckpt.state);
+    }
+    const engine::Energies e = engine->energies();
+    for (engine::StepObserver* obs : observers) {
+      obs->on_sample(static_cast<int>(ckpt.step), ckpt.state, e);
+    }
+  }
+
+  report.completed = true;
+  report.final_state = ckpt.state;
+  report.final_energies = engine->energies();
+  for (engine::StepObserver* obs : observers) obs->on_finish(steps, *engine);
+  return report;
+}
+
+}  // namespace fasda::supervisor

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <sstream>
 
 #include "fasda/md/checkpoint.hpp"
@@ -72,6 +74,47 @@ TEST(Checkpoint, RejectsTruncation) {
   const std::string full = stream.str();
   std::stringstream cut(full.substr(0, full.size() / 2));
   EXPECT_THROW(load_checkpoint(cut), std::runtime_error);
+}
+
+TEST(Checkpoint, CrcCatchesTornPayload) {
+  // A flipped byte anywhere in the payload must fail the CRC footer, with
+  // a diagnostic that tells the operator to fall back to the previous
+  // checkpoint rather than restart from silently corrupt coordinates.
+  const auto s = make_state();
+  std::stringstream stream;
+  save_checkpoint(stream, s);
+  std::string bytes = stream.str();
+  for (const std::size_t at : {bytes.size() / 3, bytes.size() - 5}) {
+    std::string torn = bytes;
+    torn[at] ^= 0x40;
+    std::stringstream in(torn);
+    try {
+      load_checkpoint(in);
+      FAIL() << "corruption at byte " << at << " went undetected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Checkpoint, AtomicSaveLeavesNoTempFileBehind) {
+  const auto s = make_state();
+  const std::string path = "/tmp/fasda_checkpoint_atomic_test.bin";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  save_checkpoint(path, s);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+      << "rename must consume the staging file";
+
+  // Overwriting an existing checkpoint goes through the same staged path.
+  save_checkpoint(path, s);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const auto back = load_checkpoint(path);
+  EXPECT_EQ(back.size(), s.size());
+  std::remove(path.c_str());
 }
 
 TEST(Checkpoint, EmptySystem) {

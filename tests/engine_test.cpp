@@ -254,6 +254,42 @@ TEST(BatchRunner, ReportsThroughputAndIsolatesFailures) {
   EXPECT_EQ(report.replicas[0].steps, 4);
 }
 
+TEST(BatchRunner, NodeFaultInOneReplicaLeavesTheOthersStanding) {
+  // Failure isolation with a typed cause: replica 0 carries a fault plan
+  // that crashes one of its FPGA nodes mid-run; replica 1 is identical but
+  // fault-free. The ensemble keeps replica 1's result and reports replica
+  // 0 with the failure kind and the implicated node, not just an opaque
+  // error string.
+  std::vector<BatchJob> jobs(2);
+  for (int i = 0; i < 2; ++i) {
+    BatchJob& job = jobs[i];
+    job.label = i == 0 ? "faulty" : "healthy";
+    job.state = make_state({4, 4, 4}, 8, 17);
+    job.ff = md::ForceField::sodium();
+    job.spec = spec_for("cycle");
+    job.spec.cells_per_node = geom::IVec3{2, 2, 2};
+    job.steps = 5;
+  }
+  jobs[0].spec.faults = net::FaultPlan::parse("crash=1-2500");
+  jobs[0].spec.reliability.max_retries = 3;  // quick detection
+
+  BatchRunner runner(2);
+  const auto report = runner.run(jobs);
+  ASSERT_EQ(report.replicas.size(), 2u);
+
+  const auto& faulty = report.replicas[0];
+  EXPECT_FALSE(faulty.ok);
+  EXPECT_EQ(faulty.failure, ReplicaFailure::kNodeFailure);
+  EXPECT_EQ(faulty.failed_node, 1);
+  EXPECT_NE(faulty.error.find("node 1"), std::string::npos);
+
+  const auto& healthy = report.replicas[1];
+  EXPECT_TRUE(healthy.ok) << healthy.error;
+  EXPECT_EQ(healthy.failure, ReplicaFailure::kNone);
+  EXPECT_EQ(healthy.failed_node, -1);
+  EXPECT_EQ(healthy.steps, 5);
+}
+
 TEST(BatchRunner, CustomBodyCanRebuildTheEngine) {
   BatchJob job;
   job.label = "rebuild";

@@ -103,6 +103,30 @@ TEST(GoldenFigures, Fig18PacketCountsUnchangedByArmedReliability) {
   // done. Data-packet departures — what Fig. 18 reports — are unchanged.
 }
 
+TEST(GoldenFigures, WatchdogNeverFiresOnTheLargestGoldenGeometry) {
+  // False-positive regression for the DESIGN.md §11 watchdog: the densest
+  // golden-figure variant (design C: 4x4x4 cells on a 2x2x2 torus, 2 SPE x
+  // 3 PE, 16 particles per cell) armed with a perfect wire must run to
+  // completion under the default cycle budget. A healthy node heartbeats
+  // every cycle — its control tick is never straggler-gated — so even this
+  // longest-phase geometry cannot trip sync::NodeFailureError.
+  const auto state = bench::standard_dataset({4, 4, 4}, 16);
+  auto config = bench::strong_config(3, 2);
+  ASSERT_GT(config.watchdog_budget, 0u) << "watchdog must be on by default";
+  config.faults = net::FaultPlan{};  // armed protocol, perfect wire
+
+  core::Simulation sim(state, md::ForceField::sodium(), config);
+  EXPECT_NO_THROW(sim.run(2));
+
+  // A deliberately slowed straggler node still must not trip it: the
+  // watchdog watches the control heartbeat, not datapath progress.
+  auto straggler = bench::strong_config(3, 2);
+  straggler.faults = net::FaultPlan{};
+  straggler.stragglers = {{3, 8}};
+  core::Simulation slow(state, md::ForceField::sodium(), straggler);
+  EXPECT_NO_THROW(slow.run(2));
+}
+
 TEST(GoldenFigures, FasdaBestVsBestGpuNearPaperRatio) {
   const double rate_c = strong_rate(3, 2);
   const model::GpuModel gpu;

@@ -1,0 +1,330 @@
+// Node-level fault tolerance (DESIGN.md §11): crash injection, watchdog
+// supervision, and checkpoint-based recovery.
+//
+// The headline property is the acceptance criterion of the layer: a run
+// whose node crashes mid-flight under supervisor::Supervisor recovers from
+// the last checkpoint and finishes BITWISE identical to the uninterrupted
+// run, for 1, 2 and 4 scheduler workers. Around it: a hang without
+// supervision fails fast with a typed sync::NodeFailureError (both via the
+// silent-peer reclassification of a degraded link and via the pure cycle
+// watchdog), a stall shorter than the detection horizon is absorbed by the
+// retransmit protocol with no trace, and a permanently dead board either
+// re-shards the cluster onto fewer nodes (--allow-degraded) or burns out
+// the restart budget into an incomplete RunReport.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fasda/core/simulation.hpp"
+#include "fasda/engine/registry.hpp"
+#include "fasda/md/dataset.hpp"
+#include "fasda/supervisor/supervisor.hpp"
+#include "fasda/sync/sync.hpp"
+
+namespace fasda {
+namespace {
+
+// Same cluster as the fault-injection acceptance suite: 4x4x4 cells on
+// 2x2x2 FPGA nodes, 8 particles per cell. One step is ~1.1k cycles, so a
+// fault at cycle 2500 lands mid-run of a 5-step trajectory.
+md::SystemState cluster_state() {
+  md::DatasetParams p;
+  p.particles_per_cell = 8;
+  p.seed = 17;
+  p.temperature = 300.0;
+  return md::generate_dataset({4, 4, 4}, 8.5, md::ForceField::sodium(), p);
+}
+
+engine::EngineSpec cycle_spec(int workers) {
+  engine::EngineSpec spec;
+  spec.engine = "cycle";
+  spec.cells_per_node = geom::IVec3{2, 2, 2};
+  spec.num_worker_threads = workers;
+  return spec;
+}
+
+/// Arms the plan and keeps detection quick: 3 retries on a ~470-cycle RTO
+/// declares a link to a dead board degraded within ~3.3k cycles instead of
+/// the default ~25k.
+void arm_fast_detection(engine::EngineSpec& spec) {
+  if (!spec.faults) spec.faults.emplace();
+  spec.reliability.max_retries = 3;
+}
+
+void expect_bitwise_equal(const md::SystemState& got,
+                          const md::SystemState& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got.positions[i].x, want.positions[i].x) << "particle " << i;
+    ASSERT_EQ(got.positions[i].y, want.positions[i].y) << "particle " << i;
+    ASSERT_EQ(got.positions[i].z, want.positions[i].z) << "particle " << i;
+    ASSERT_EQ(got.velocities[i].x, want.velocities[i].x) << "particle " << i;
+    ASSERT_EQ(got.velocities[i].y, want.velocities[i].y) << "particle " << i;
+    ASSERT_EQ(got.velocities[i].z, want.velocities[i].z) << "particle " << i;
+  }
+}
+
+constexpr int kSteps = 5;
+
+md::SystemState clean_run(int steps) {
+  auto engine = engine::Registry::instance().create(
+      cluster_state(), md::ForceField::sodium(), cycle_spec(1));
+  engine->step(steps);
+  return engine->state();
+}
+
+// ------------------------------------------------- checkpoint/replay basis
+
+// The foundation under rollback-and-replay: exporting the state mid-run and
+// rebuilding a fresh engine over it continues the trajectory bitwise — the
+// Q2.28 cell-offset positions survive the export/import round trip exactly.
+TEST(Supervisor, RebuildFromExportedStateIsBitwiseTransparent) {
+  const auto want = clean_run(kSteps);
+
+  auto first = engine::Registry::instance().create(
+      cluster_state(), md::ForceField::sodium(), cycle_spec(1));
+  first->step(2);
+  auto second = engine::Registry::instance().create(
+      first->state(), md::ForceField::sodium(), cycle_spec(1));
+  second->step(kSteps - 2);
+  expect_bitwise_equal(second->state(), want);
+}
+
+// ------------------------------------------------- crash-recovery parity
+
+// The acceptance criterion: crash node 1 mid-run; the supervisor detects
+// the dead board, rolls back to the last checkpoint, reboots (clearing the
+// transient fault) and replays — final positions and velocities bitwise
+// identical to the run that never crashed, at every worker count.
+TEST(Supervisor, CrashRecoveryIsBitwiseIdenticalAcrossWorkerCounts) {
+  const auto want = clean_run(kSteps);
+
+  for (int workers : {1, 2, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    auto spec = cycle_spec(workers);
+    arm_fast_detection(spec);
+    net::NodeFault crash;
+    crash.kind = net::NodeFaultKind::kCrash;
+    crash.node = 1;
+    crash.at = 2500;
+    spec.faults->node_faults.push_back(crash);
+
+    supervisor::SupervisorConfig cfg;
+    cfg.checkpoint_every = 1;
+    supervisor::Supervisor sup(cluster_state(), md::ForceField::sodium(),
+                               spec, cfg);
+    const auto report = sup.run(kSteps);
+
+    ASSERT_TRUE(report.completed) << report.final_error;
+    EXPECT_FALSE(report.degraded);
+    EXPECT_EQ(report.restarts, 1);
+    EXPECT_EQ(report.steps, kSteps);
+    ASSERT_EQ(report.incidents.size(), 1u);
+    const auto& inc = report.incidents[0];
+    EXPECT_EQ(inc.kind, supervisor::IncidentKind::kNodeFailure);
+    EXPECT_EQ(inc.node, 1);
+    EXPECT_TRUE(inc.recovered);
+    EXPECT_FALSE(inc.caused_reshard);
+    // The reboot cleared the transient fault from the next build's spec.
+    EXPECT_TRUE(sup.spec().faults->node_faults.empty());
+    expect_bitwise_equal(report.final_state, want);
+  }
+}
+
+// The same crash recovered via the `crash=NODE-CYCLE` --faults key, proving
+// the CLI-facing spelling drives the identical machinery.
+TEST(Supervisor, ParsedCrashKeyRecoversBitwise) {
+  const auto want = clean_run(kSteps);
+
+  auto spec = cycle_spec(2);
+  spec.faults = net::FaultPlan::parse("crash=1-2500");
+  spec.reliability.max_retries = 3;
+
+  supervisor::Supervisor sup(cluster_state(), md::ForceField::sodium(), spec,
+                             {});
+  const auto report = sup.run(kSteps);
+  ASSERT_TRUE(report.completed) << report.final_error;
+  EXPECT_EQ(report.restarts, 1);
+  expect_bitwise_equal(report.final_state, want);
+}
+
+// ------------------------------------------------- fail-fast without a net
+
+// A hung board without supervision must terminate the run with the typed
+// error, not spin: the neighbours' links to it go ack-silent, and the
+// degraded link is reclassified as a node failure because the peer itself
+// stopped heartbeating.
+TEST(Supervisor, HangWithoutSupervisionFailsFastWithNodeFailure) {
+  core::ClusterConfig config;
+  config.node_dims = {2, 2, 2};
+  config.cells_per_node = {2, 2, 2};
+  config.num_worker_threads = 1;
+  config.faults.emplace();
+  net::NodeFault hang;
+  hang.kind = net::NodeFaultKind::kHang;
+  hang.node = 2;
+  hang.at = 800;
+  config.faults->node_faults.push_back(hang);
+  config.reliability.max_retries = 3;
+
+  core::Simulation sim(cluster_state(), md::ForceField::sodium(), config);
+  try {
+    sim.run(kSteps);
+    FAIL() << "hang was not detected";
+  } catch (const sync::NodeFailureError& e) {
+    EXPECT_EQ(e.node(), 2);
+    EXPECT_GT(e.cycles_stalled(), 0);
+    EXPECT_GE(e.detected_at(), 800u);
+    EXPECT_NE(std::string(e.what()).find("node 2"), std::string::npos);
+  }
+}
+
+// The pure-watchdog path: retries are effectively infinite, so only the
+// cycle-budget watchdog can convert the silent hang into the typed error.
+TEST(Supervisor, WatchdogAloneDetectsHang) {
+  core::ClusterConfig config;
+  config.node_dims = {2, 2, 2};
+  config.cells_per_node = {2, 2, 2};
+  config.num_worker_threads = 1;
+  config.faults.emplace();
+  net::NodeFault hang;
+  hang.kind = net::NodeFaultKind::kHang;
+  hang.node = 5;
+  hang.at = 700;
+  config.faults->node_faults.push_back(hang);
+  config.reliability.max_retries = 1'000'000;  // degradation never fires
+  config.watchdog_budget = 2'000;
+
+  core::Simulation sim(cluster_state(), md::ForceField::sodium(), config);
+  try {
+    sim.run(kSteps);
+    FAIL() << "watchdog did not fire";
+  } catch (const sync::NodeFailureError& e) {
+    EXPECT_EQ(e.node(), 5);
+    EXPECT_GT(e.cycles_stalled(), 2'000u);
+    EXPECT_LT(e.detected_at(), 10'000u) << "watchdog fired far too late";
+  }
+}
+
+// ------------------------------------------------- transient stall
+
+// A stall shorter than the detection horizon is not an incident at all:
+// the retransmit protocol absorbs the silence and the trajectory stays
+// bitwise identical to the fault-free run.
+TEST(Supervisor, ShortStallIsAbsorbedBitwise) {
+  const auto want = clean_run(kSteps);
+
+  core::ClusterConfig config;
+  config.node_dims = {2, 2, 2};
+  config.cells_per_node = {2, 2, 2};
+  config.num_worker_threads = 1;
+  config.faults.emplace();
+  net::NodeFault stall;
+  stall.kind = net::NodeFaultKind::kStall;
+  stall.node = 3;
+  stall.at = 1500;
+  stall.duration = 300;
+  config.faults->node_faults.push_back(stall);
+
+  core::Simulation sim(cluster_state(), md::ForceField::sodium(), config);
+  sim.run(kSteps);
+  expect_bitwise_equal(sim.state(), want);
+}
+
+// ------------------------------------------------- permanent death
+
+// `die=` keeps the fault armed across reboots: the same node is implicated
+// twice in a row, which with allow_degraded triggers the re-shard onto
+// fewer boards. The run completes degraded and the report says exactly
+// which incident shrank the cluster.
+TEST(Supervisor, PermanentDeathReshardsAndCompletesDegraded) {
+  auto spec = cycle_spec(1);
+  spec.faults = net::FaultPlan::parse("die=0-1500");
+  spec.reliability.max_retries = 3;
+
+  supervisor::SupervisorConfig cfg;
+  cfg.checkpoint_every = 1;
+  cfg.max_restarts = 3;
+  cfg.allow_degraded = true;
+  supervisor::Supervisor sup(cluster_state(), md::ForceField::sodium(), spec,
+                             cfg);
+  const auto report = sup.run(kSteps);
+
+  ASSERT_TRUE(report.completed) << report.final_error;
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.steps, kSteps);
+  ASSERT_GE(report.incidents.size(), 2u);
+  for (const auto& inc : report.incidents) {
+    EXPECT_EQ(inc.node, 0);
+    EXPECT_TRUE(inc.recovered);
+  }
+  EXPECT_TRUE(report.incidents.back().caused_reshard);
+  // The re-shard folded an axis: fewer nodes, larger cell blocks.
+  const geom::IVec3 cells = sup.spec().cells_per_node.value();
+  EXPECT_EQ(cells.x * cells.y * cells.z, 2 * 2 * 4);
+  EXPECT_EQ(report.final_state.size(), cluster_state().size());
+}
+
+// Without allow_degraded the permanent fault survives every reboot and the
+// restart budget burns out: run() returns (never throws) an incomplete
+// report carrying every incident and the final error.
+TEST(Supervisor, PermanentDeathWithoutDegradedGivesUpWithReport) {
+  auto spec = cycle_spec(1);
+  spec.faults = net::FaultPlan::parse("die=0-1500");
+  spec.reliability.max_retries = 3;
+
+  supervisor::SupervisorConfig cfg;
+  cfg.checkpoint_every = 1;
+  cfg.max_restarts = 1;
+  supervisor::Supervisor sup(cluster_state(), md::ForceField::sodium(), spec,
+                             cfg);
+  const auto report = sup.run(kSteps);
+
+  EXPECT_FALSE(report.completed);
+  EXPECT_FALSE(report.degraded);
+  EXPECT_EQ(report.restarts, 1);
+  ASSERT_EQ(report.incidents.size(), 2u);
+  EXPECT_EQ(report.incidents[0].node, 0);
+  EXPECT_EQ(report.incidents[1].node, 0);
+  EXPECT_FALSE(report.incidents[1].recovered);
+  EXPECT_FALSE(report.final_error.empty());
+  EXPECT_LT(report.steps, kSteps);
+  // The banked prefix is still handed back.
+  EXPECT_EQ(report.final_state.size(), cluster_state().size());
+}
+
+// ------------------------------------------------- observer discipline
+
+// Rolled-back blocks are never sampled: observers see step 0 once, then
+// exactly one sample per banked checkpoint, in order, crash or no crash.
+struct RecordingObserver final : engine::StepObserver {
+  std::vector<int> steps;
+  int finishes = 0;
+  void on_sample(int step, const md::SystemState&,
+                 const engine::Energies&) override {
+    steps.push_back(step);
+  }
+  void on_finish(int, engine::Engine&) override { ++finishes; }
+};
+
+TEST(Supervisor, RecoveryNeverDuplicatesObserverSamples) {
+  auto spec = cycle_spec(1);
+  spec.faults = net::FaultPlan::parse("crash=1-2500");
+  spec.reliability.max_retries = 3;
+
+  supervisor::SupervisorConfig cfg;
+  cfg.checkpoint_every = 1;
+  supervisor::Supervisor sup(cluster_state(), md::ForceField::sodium(), spec,
+                             cfg);
+  RecordingObserver obs;
+  const auto report = sup.run(kSteps, {&obs});
+
+  ASSERT_TRUE(report.completed) << report.final_error;
+  ASSERT_EQ(report.restarts, 1);
+  EXPECT_EQ(obs.steps, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(obs.finishes, 1);
+}
+
+}  // namespace
+}  // namespace fasda

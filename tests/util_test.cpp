@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "fasda/net/fault.hpp"
 #include "fasda/util/cli.hpp"
 #include "fasda/util/rng.hpp"
 #include "fasda/util/thread_pool.hpp"
@@ -229,6 +230,86 @@ TEST(ParseDims, RejectsMalformedInput) {
 TEST(ParseDims, RejectsZeroAxes) {
   EXPECT_THROW(parse_dims("044"), std::invalid_argument);
   EXPECT_THROW(parse_dims("4x0x4"), std::invalid_argument);
+}
+
+// ------------------------------------------------- --faults diagnostics
+
+/// Captures the one-line diagnostic a bad --faults spec produces.
+std::string parse_fault_error(std::string_view spec) {
+  try {
+    net::FaultPlan::parse(spec);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "spec '" << spec << "' was accepted";
+  return {};
+}
+
+TEST(FaultSpecDiagnostics, NamesTheBadTokenAndTheKey) {
+  EXPECT_NE(parse_fault_error("drop=0.1x").find("'0.1x'"), std::string::npos);
+  EXPECT_NE(parse_fault_error("drop=0.1x").find("'drop'"), std::string::npos);
+  EXPECT_NE(parse_fault_error("seed=12 34").find("'12 34'"),
+            std::string::npos);
+  EXPECT_NE(parse_fault_error("frobnicate=1").find("unknown key 'frobnicate'"),
+            std::string::npos);
+  EXPECT_NE(parse_fault_error("drop").find("expected key=value"),
+            std::string::npos);
+  // The whole spec rides along so a user sees the context, not just the
+  // token.
+  EXPECT_NE(parse_fault_error("drop=0.1,dup=zz").find("drop=0.1,dup=zz"),
+            std::string::npos);
+}
+
+TEST(FaultSpecDiagnostics, RatesMustStayInUnitInterval) {
+  EXPECT_NE(parse_fault_error("drop=1.5").find("must be in [0, 1]"),
+            std::string::npos);
+  EXPECT_NE(parse_fault_error("corrupt=-0.25").find("must be in [0, 1]"),
+            std::string::npos);
+}
+
+TEST(FaultSpecDiagnostics, NodeFaultArityAndValues) {
+  EXPECT_NE(parse_fault_error("crash=3").find("crash expects NODE-CYCLE"),
+            std::string::npos);
+  EXPECT_NE(parse_fault_error("stall=3-100").find("stall expects"),
+            std::string::npos);
+  EXPECT_NE(parse_fault_error("stall=3-100-0").find("duration must be > 0"),
+            std::string::npos);
+  EXPECT_NE(parse_fault_error("hang=-1-100").find("'-1-100'"),
+            std::string::npos);
+  EXPECT_NE(parse_fault_error("die=x-100").find("'x'"), std::string::npos);
+}
+
+TEST(FaultSpecDiagnostics, NodeFaultsRoundTrip) {
+  const auto plan =
+      net::FaultPlan::parse("crash=1-2500,die=0-100,hang=2-50,stall=3-10-20");
+  ASSERT_EQ(plan.node_faults.size(), 4u);
+  EXPECT_EQ(plan.node_faults[0].kind, net::NodeFaultKind::kCrash);
+  EXPECT_EQ(plan.node_faults[0].node, 1);
+  EXPECT_EQ(plan.node_faults[0].at, 2500u);
+  EXPECT_FALSE(plan.node_faults[0].permanent);
+  EXPECT_TRUE(plan.node_faults[1].permanent);
+  EXPECT_EQ(plan.node_faults[2].kind, net::NodeFaultKind::kHang);
+  EXPECT_EQ(plan.node_faults[3].kind, net::NodeFaultKind::kStall);
+  EXPECT_EQ(plan.node_faults[3].duration, 20u);
+  EXPECT_TRUE(plan.has_node_faults());
+  ASSERT_EQ(plan.faults_for_node(3).size(), 1u);
+  EXPECT_TRUE(plan.faults_for_node(7).empty());
+}
+
+TEST(FaultSpecDiagnostics, ValidateRejectsOutOfClusterIds) {
+  const auto plan = net::FaultPlan::parse("crash=9-100");
+  EXPECT_NO_THROW(plan.validate(16));
+  try {
+    plan.validate(8);
+    FAIL() << "node 9 accepted in an 8-node cluster";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("node id 9"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("8-node"), std::string::npos);
+  }
+  EXPECT_THROW(net::FaultPlan::parse("dead=0-9").validate(4),
+               std::invalid_argument);
+  EXPECT_THROW(net::FaultPlan::parse("dropk=5-0-3").validate(4),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -30,9 +30,25 @@
 //   --faults SPEC      lossy-fabric model + ack/retransmit recovery
 //                      (DESIGN.md section 10). SPEC is a comma list:
 //                      drop=0.05,dup=0.02,reorder=0.02,corrupt=0.01,seed=7,
-//                      dead=SRC-DST,dropk=SRC-DST-K. The trajectory stays
-//                      bitwise identical to the fault-free run; a dead link
-//                      terminates with a degraded-link error.
+//                      dead=SRC-DST,dropk=SRC-DST-K, plus node faults
+//                      crash=NODE-CYCLE, die=NODE-CYCLE (permanent),
+//                      hang=NODE-CYCLE, stall=NODE-CYCLE-CYCLES. The
+//                      trajectory stays bitwise identical to the fault-free
+//                      run; an unrecovered dead link or dead node
+//                      terminates with a typed error (exit codes below).
+// Supervision flags (DESIGN.md section 11):
+//   --supervise          run under supervisor::Supervisor: periodic
+//                        checkpoints, rollback-and-replay on node/link
+//                        failure, incident report at the end
+//   --checkpoint-every N steps between rollback checkpoints (default:
+//                        --sample)
+//   --max-restarts N     engine rebuilds before giving up (default 3)
+//   --allow-degraded     permit the re-shard onto surviving nodes when the
+//                        same node dies twice (permanent death)
+//
+// Exit codes: 0 = completed; 1 = usage/config error; 2 = unrecovered
+// degraded link; 3 = unrecovered node failure; 4 = completed, but in
+// degraded (re-sharded) mode after a permanent node death.
 
 #include <cstdio>
 #include <memory>
@@ -44,8 +60,41 @@
 #include "fasda/engine/registry.hpp"
 #include "fasda/md/checkpoint.hpp"
 #include "fasda/md/dataset.hpp"
+#include "fasda/supervisor/supervisor.hpp"
 #include "fasda/sync/sync.hpp"
 #include "fasda/util/cli.hpp"
+
+namespace {
+
+const char* incident_kind_name(fasda::supervisor::IncidentKind kind) {
+  switch (kind) {
+    case fasda::supervisor::IncidentKind::kNodeFailure: return "node-failure";
+    case fasda::supervisor::IncidentKind::kDegradedLink: return "degraded-link";
+    case fasda::supervisor::IncidentKind::kOther: return "other";
+  }
+  return "unknown";
+}
+
+void print_incidents(const fasda::supervisor::RunReport& report) {
+  if (report.incidents.empty()) {
+    std::printf("\nsupervision: no incidents\n");
+    return;
+  }
+  std::printf("\nsupervision report: %zu incident(s), %d restart(s)%s\n",
+              report.incidents.size(), report.restarts,
+              report.degraded ? ", degraded topology" : "");
+  int i = 0;
+  for (const auto& inc : report.incidents) {
+    std::printf("  #%d attempt %d: %s node %d%s%s at step %lld — %s%s\n", ++i,
+                inc.attempt, incident_kind_name(inc.kind), inc.node,
+                inc.phase.empty() ? "" : " in phase ",
+                inc.phase.empty() ? "" : inc.phase.c_str(),
+                inc.at_step, inc.recovered ? "recovered" : "unrecovered",
+                inc.caused_reshard ? " (re-sharded)" : "");
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fasda;
@@ -96,6 +145,62 @@ int main(int argc, char** argv) {
     state = md::generate_dataset(space, 8.5, ff, params);
   }
 
+  if (spec.faults && spec.engine != "cycle") {
+    std::fprintf(stderr, "--faults models the inter-FPGA fabric; it only "
+                         "applies to --engine cycle\n");
+    return 1;
+  }
+
+  engine::EnergyTablePrinter table;
+  std::optional<engine::XyzObserver> xyz;
+  std::optional<engine::CheckpointObserver> checkpoint;
+  std::vector<engine::StepObserver*> observers{&table};
+  if (auto path = cli.get("xyz")) observers.push_back(&xyz.emplace(*path, ff));
+  if (auto path = cli.get("checkpoint")) {
+    observers.push_back(&checkpoint.emplace(*path));
+  }
+
+  if (cli.has("supervise")) {
+    supervisor::SupervisorConfig scfg;
+    scfg.checkpoint_every =
+        static_cast<int>(cli.get_or("checkpoint-every", static_cast<long>(sample)));
+    scfg.max_restarts = static_cast<int>(cli.get_or("max-restarts", 3L));
+    scfg.allow_degraded = cli.has("allow-degraded");
+
+    std::printf("fasda_md: %s engine (supervised), %zu particles (%dx%dx%d "
+                "cells), %d steps\n",
+                spec.engine.c_str(), state.size(), space.x, space.y, space.z,
+                steps);
+
+    supervisor::RunReport report;
+    try {
+      supervisor::Supervisor sup(state, ff, spec, scfg);
+      report = sup.run(steps, observers);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    print_incidents(report);
+    if (!report.completed) {
+      std::fprintf(stderr, "\nsupervision gave up after %d restart(s): %s\n",
+                   report.restarts, report.final_error.c_str());
+      if (report.incidents.empty()) return 1;
+      switch (report.incidents.back().kind) {
+        case supervisor::IncidentKind::kDegradedLink: return 2;
+        case supervisor::IncidentKind::kNodeFailure: return 3;
+        case supervisor::IncidentKind::kOther: return 1;
+      }
+      return 1;
+    }
+    std::printf("completed %lld steps (%d checkpoint(s))\n", report.steps,
+                report.checkpoints_taken);
+    if (xyz) std::printf("trajectory: %d frames\n", xyz->frames_written());
+    if (auto path = cli.get("checkpoint")) {
+      std::printf("checkpoint: %s\n", path->c_str());
+    }
+    return report.degraded ? 4 : 0;
+  }
+
   std::unique_ptr<engine::Engine> eng;
   try {
     eng = engine::Registry::instance().create(state, ff, spec);
@@ -108,27 +213,15 @@ int main(int argc, char** argv) {
               eng->name().c_str(), state.size(), space.x, space.y, space.z,
               steps);
 
-  engine::EnergyTablePrinter table;
-  std::optional<engine::XyzObserver> xyz;
-  std::optional<engine::CheckpointObserver> checkpoint;
-  std::vector<engine::StepObserver*> observers{&table};
-  if (auto path = cli.get("xyz")) observers.push_back(&xyz.emplace(*path, ff));
-  if (auto path = cli.get("checkpoint")) {
-    observers.push_back(&checkpoint.emplace(*path));
-  }
-
-  if (spec.faults && spec.engine != "cycle") {
-    std::fprintf(stderr, "--faults models the inter-FPGA fabric; it only "
-                         "applies to --engine cycle\n");
-    return 1;
-  }
-
   engine::RunResult result;
   try {
     result = engine::run(*eng, steps, sample, observers);
   } catch (const sync::DegradedLinkError& e) {
     std::fprintf(stderr, "\n%s\n", e.what());
     return 2;
+  } catch (const sync::NodeFailureError& e) {
+    std::fprintf(stderr, "\n%s\n", e.what());
+    return 3;
   }
 
   std::printf("\nwall time: %.2f s (%.1f ms/step)\n", result.wall_seconds,
