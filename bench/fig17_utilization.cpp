@@ -4,12 +4,18 @@
 // versus capacity; time utilization is the fraction of cycles a component
 // was active (§5.3).
 //
+// The table is sourced from the obs metrics registry (DESIGN.md §12): each
+// variant runs with a hub attached and the bench reads the `util.*` gauges
+// out of the snapshot — the same numbers any external scraper would see —
+// instead of calling Simulation::utilization() directly.
+//
 // Flags:
 //   --iters N     timesteps per variant (default 2)
 //   --filters N   ablation: filters per pipeline (default 6; the paper
 //                 argues 6 matches the one-force-per-cycle pipeline)
 
 #include "bench_common.hpp"
+#include "fasda/obs/obs.hpp"
 
 int main(int argc, char** argv) {
   using namespace fasda;
@@ -26,16 +32,21 @@ int main(int argc, char** argv) {
   for (const auto& variant : bench::table1_variants()) {
     auto config = variant.config;
     config.filters_per_pipeline = filters;
+    obs::Hub hub;  // fresh per variant: each snapshot covers one design
+    config.obs = &hub;
     const auto state = bench::standard_dataset(variant.cells);
     core::Simulation sim(state, md::ForceField::sodium(), config);
     sim.run(iters);
-    const auto u = sim.utilization();
+    const obs::MetricsSnapshot snap = hub.metrics().snapshot();
     std::printf(
         "%-9s | %5.2f %5.2f | %5.2f %5.2f | %6.2f %6.2f | %5.2f %5.2f | "
         "%5.3f %5.3f\n",
-        variant.name.c_str(), u.pr_hardware, u.pr_time, u.fr_hardware,
-        u.fr_time, u.filter_hardware, u.filter_time, u.pe_hardware, u.pe_time,
-        u.mu_hardware, u.mu_time);
+        variant.name.c_str(), snap.gauge_or("util.pr.hardware"),
+        snap.gauge_or("util.pr.time"), snap.gauge_or("util.fr.hardware"),
+        snap.gauge_or("util.fr.time"), snap.gauge_or("util.filter.hardware"),
+        snap.gauge_or("util.filter.time"), snap.gauge_or("util.pe.hardware"),
+        snap.gauge_or("util.pe.time"), snap.gauge_or("util.mu.hardware"),
+        snap.gauge_or("util.mu.time"));
   }
 
   std::printf(

@@ -4,6 +4,11 @@
 // communicates intensely only with its logical neighbours (forces more so,
 // because zero forces to diagonal nodes are discarded, §5.4).
 //
+// Every number printed here comes out of the obs metrics registry
+// (DESIGN.md §12): the fabrics count per-destination egress and the
+// reliability record into the hub, and the bench reads the snapshot — no
+// bench-side aggregation over TrafficMatrix remains.
+//
 // Flags:
 //   --iters N      timesteps per design (default 2)
 //   --cooldown N   ablation: egress cooldown counter (default 2)
@@ -11,39 +16,34 @@
 //                  append a per-link reliability table (DESIGN.md §10).
 //                  SPEC: drop=0.05,dup=0.02,reorder=0.02,corrupt=0.01,seed=7
 
-#include <map>
 #include <optional>
+#include <string>
 
 #include "bench_common.hpp"
+#include "fasda/obs/obs.hpp"
 
 namespace {
 
 using namespace fasda;
 
-void breakdown(const char* label, const net::TrafficMatrix& traffic,
-               idmap::NodeId src, int num_nodes) {
-  std::uint64_t total = 0;
-  std::map<idmap::NodeId, std::uint64_t> out;
-  for (const auto& [pair, packets] : traffic.packets) {
-    if (pair.first == src) {
-      out[pair.second] += packets;
-      total += packets;
-    }
-  }
+void breakdown(const char* label, const obs::MetricsSnapshot& snap,
+               const char* channel, idmap::NodeId src, int num_nodes) {
+  const std::vector<double> pct =
+      obs::egress_percentages(snap, channel, src, num_nodes);
   std::printf("  %s from node %d:", label, src);
   for (idmap::NodeId dst = 0; dst < num_nodes; ++dst) {
     if (dst == src) {
       std::printf("    -- ");
       continue;
     }
-    const auto it = out.find(dst);
-    const double pct =
-        total == 0 || it == out.end()
-            ? 0.0
-            : 100.0 * static_cast<double>(it->second) / static_cast<double>(total);
-    std::printf(" %5.1f%%", pct);
+    std::printf(" %5.1f%%", pct[static_cast<std::size_t>(dst)]);
   }
   std::printf("\n");
+}
+
+std::uint64_t link_counter(const obs::MetricsSnapshot& snap, int src, int dst,
+                           const char* field) {
+  return snap.counter("net.rel.to." + std::to_string(dst) + "." + field, src);
 }
 
 }  // namespace
@@ -92,19 +92,23 @@ int main(int argc, char** argv) {
     auto config = d.config;
     config.channel.cooldown = cooldown;
     config.faults = faults;
+    obs::Hub hub;  // fresh per design: each snapshot covers one cluster
+    config.obs = &hub;
     const auto state = bench::standard_dataset(d.cells);
     core::Simulation sim(state, md::ForceField::sodium(), config);
     sim.run(iters);
-    const auto t = sim.traffic();
-    std::printf("%-24s %10.2f %10.2f\n", d.name, t.position_gbps_per_node,
-                t.force_gbps_per_node);
+    const obs::MetricsSnapshot snap = hub.metrics().snapshot();
+    std::printf("%-24s %10.2f %10.2f\n", d.name,
+                snap.gauge_or("net.pos.gbps_per_node"),
+                snap.gauge_or("net.frc.gbps_per_node"));
 
     if (&d == &designs[2]) {
+      const int n = sim.num_nodes();
       std::printf(
           "\n(B/C) Traffic breakdown by destination node, design C, 2x2x2 "
           "torus (dst 0..7)\n");
-      breakdown("positions", t.positions, 0, sim.num_nodes());
-      breakdown("forces   ", t.forces, 0, sim.num_nodes());
+      breakdown("positions", snap, "net.pos", 0, n);
+      breakdown("forces   ", snap, "net.frc", 0, n);
       std::printf(
           "  (expect: faces > edges > corner; forces steeper because zero\n"
           "   forces to distant nodes are discarded rather than returned)\n");
@@ -116,28 +120,45 @@ int main(int argc, char** argv) {
         std::printf("  %-8s %6s %5s %5s %5s %7s %6s %6s %8s\n", "link",
                     "drops", "dups", "reord", "crpt", "retrans", "crcfl",
                     "dupdc", "recovery");
-        for (const auto& [link, s] : t.link_stats) {
-          if (!s.faults_seen() && !s.retransmits) continue;
-          std::printf("  %3d->%-3d %6llu %5llu %5llu %5llu %7llu %6llu %6llu "
-                      "%8llu\n",
-                      link.first, link.second,
-                      static_cast<unsigned long long>(s.injected_drops),
-                      static_cast<unsigned long long>(s.injected_dups),
-                      static_cast<unsigned long long>(s.injected_reorders),
-                      static_cast<unsigned long long>(s.injected_corrupts),
-                      static_cast<unsigned long long>(s.retransmits),
-                      static_cast<unsigned long long>(s.crc_failures),
-                      static_cast<unsigned long long>(s.duplicates_discarded),
-                      static_cast<unsigned long long>(s.recovery_cycles));
+        for (int src = 0; src < n; ++src) {
+          for (int dst = 0; dst < n; ++dst) {
+            const std::uint64_t drops = link_counter(snap, src, dst, "drops");
+            const std::uint64_t dups = link_counter(snap, src, dst, "dups");
+            const std::uint64_t reorders =
+                link_counter(snap, src, dst, "reorders");
+            const std::uint64_t corrupts =
+                link_counter(snap, src, dst, "corrupts");
+            const std::uint64_t retransmits =
+                link_counter(snap, src, dst, "retransmits");
+            if (!(drops || dups || reorders || corrupts) && !retransmits) {
+              continue;
+            }
+            std::printf("  %3d->%-3d %6llu %5llu %5llu %5llu %7llu %6llu "
+                        "%6llu %8llu\n",
+                        src, dst, static_cast<unsigned long long>(drops),
+                        static_cast<unsigned long long>(dups),
+                        static_cast<unsigned long long>(reorders),
+                        static_cast<unsigned long long>(corrupts),
+                        static_cast<unsigned long long>(retransmits),
+                        static_cast<unsigned long long>(
+                            link_counter(snap, src, dst, "crc_failures")),
+                        static_cast<unsigned long long>(
+                            link_counter(snap, src, dst, "dups_discarded")),
+                        static_cast<unsigned long long>(
+                            link_counter(snap, src, dst, "recovery_cycles")));
+          }
         }
-        const net::LinkStats& r = t.reliability_total;
         std::printf("  total: %llu retransmits, %llu timeouts, %llu acks, "
                     "%llu nacks, max retry depth %d\n",
-                    static_cast<unsigned long long>(r.retransmits),
-                    static_cast<unsigned long long>(r.timeouts),
-                    static_cast<unsigned long long>(r.acks_sent),
-                    static_cast<unsigned long long>(r.nacks_sent),
-                    r.max_retry_depth);
+                    static_cast<unsigned long long>(
+                        snap.counter_total("net.rel.retransmits")),
+                    static_cast<unsigned long long>(
+                        snap.counter_total("net.rel.timeouts")),
+                    static_cast<unsigned long long>(
+                        snap.counter_total("net.rel.acks")),
+                    static_cast<unsigned long long>(
+                        snap.counter_total("net.rel.nacks")),
+                    static_cast<int>(snap.gauge_or("net.rel.max_retry_depth")));
       }
     }
   }

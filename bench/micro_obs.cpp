@@ -1,0 +1,113 @@
+// Google-benchmark microbenchmarks for the obs telemetry layer
+// (DESIGN.md §12). Two questions:
+//
+//   1. Raw primitive cost: counter add, gauge set, histogram observe,
+//      trace instant, and a full snapshot — what a hot-path emission
+//      actually pays when telemetry is on.
+//   2. End-to-end overhead: the same small cluster stepped with the hub
+//      detached (the null-pointer fast path) versus attached. The
+//      disabled-path delta is the number the "< 2% cycle-loop overhead"
+//      claim rests on; compare BM_CycleLoop/0 against a build without the
+//      obs hooks to audit it.
+
+#include <benchmark/benchmark.h>
+
+#include "fasda/core/simulation.hpp"
+#include "fasda/md/dataset.hpp"
+#include "fasda/obs/obs.hpp"
+
+namespace {
+
+using namespace fasda;
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Hub hub;
+  hub.attach_cluster(8);
+  const obs::Handle h = hub.metrics().counter("bench.counter");
+  int node = 0;
+  for (auto _ : state) {
+    hub.metrics().add(node, h);
+    node = (node + 1) & 7;
+  }
+  benchmark::DoNotOptimize(hub.metrics().counter_value(0, h));
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_GaugeSet(benchmark::State& state) {
+  obs::Hub hub;
+  hub.attach_cluster(8);
+  const obs::Handle h = hub.metrics().gauge("bench.gauge");
+  double v = 0.0;
+  for (auto _ : state) {
+    hub.metrics().set(obs::kClusterNode, h, v);
+    v += 1.0;
+  }
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Hub hub;
+  hub.attach_cluster(8);
+  const obs::Handle h = hub.metrics().histogram("bench.hist");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    hub.metrics().observe(0, h, v);
+    v = v * 2 + 1;
+    if (v > (1ULL << 40)) v = 1;
+  }
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_TraceInstant(benchmark::State& state) {
+  obs::Hub hub;
+  hub.attach_cluster(8);
+  obs::Cycle cycle = 0;
+  for (auto _ : state) {
+    hub.trace().instant(0, 0, obs::Comp::kSync, "bench", cycle++);
+  }
+  benchmark::DoNotOptimize(hub.trace().empty());
+}
+BENCHMARK(BM_TraceInstant);
+
+void BM_Snapshot(benchmark::State& state) {
+  obs::Hub hub;
+  hub.attach_cluster(8);
+  for (int i = 0; i < 64; ++i) {
+    const obs::Handle h =
+        hub.metrics().counter("bench.c" + std::to_string(i));
+    for (int node = 0; node < 8; ++node) hub.metrics().add(node, h, 3);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hub.metrics().snapshot());
+  }
+}
+BENCHMARK(BM_Snapshot);
+
+/// Whole-machine check: a 2x2x2-node cluster stepping real MD, with the
+/// hub detached (arg 0, the null fast path) or attached (arg 1). Telemetry
+/// must not show up in arg 0 at all, and stays small in arg 1.
+void BM_CycleLoop(benchmark::State& state) {
+  const geom::IVec3 cells{4, 4, 4};
+  md::DatasetParams params;
+  params.particles_per_cell = 8;
+  params.seed = 17;
+  const md::ForceField ff = md::ForceField::sodium();
+  const md::SystemState initial = md::generate_dataset(cells, 8.5, ff, params);
+
+  for (auto _ : state) {
+    obs::Hub hub;
+    core::ClusterConfig config;
+    config.node_dims = {2, 2, 2};
+    config.cells_per_node = {2, 2, 2};
+    config.num_worker_threads = 1;
+    config.obs = state.range(0) != 0 ? &hub : nullptr;
+    core::Simulation sim(initial, ff, config);
+    sim.run(1);
+    benchmark::DoNotOptimize(sim.total_cycles());
+  }
+}
+BENCHMARK(BM_CycleLoop)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "fasda/md/energy.hpp"
+#include "fasda/obs/obs.hpp"
 #include "fasda/sim/parallel_scheduler.hpp"
 
 namespace fasda::core {
@@ -43,6 +45,10 @@ Simulation::Simulation(const md::SystemState& state, md::ForceField ff,
   }
 
   if (config_.faults) config_.faults->validate(map_.num_nodes());
+
+  // Telemetry first: the shards must cover every node before any component
+  // resolves handles or emits into its own shard.
+  if (config_.obs) config_.obs->attach_cluster(map_.num_nodes());
 
   num_workers_ = effective_workers(config.num_worker_threads, map_.num_nodes());
   if (num_workers_ > 1) {
@@ -89,6 +95,7 @@ Simulation::Simulation(const md::SystemState& state, md::ForceField ff,
   node_config.sync_mode = config.sync_mode;
   node_config.reliable = config.faults.has_value();
   node_config.reliability = config.reliability;
+  node_config.obs = config_.obs;
 
   for (idmap::NodeId id = 0; id < map_.num_nodes(); ++id) {
     fpga::NodeConfig per_node = node_config;
@@ -109,6 +116,15 @@ Simulation::Simulation(const md::SystemState& state, md::ForceField ff,
   scheduler_->add_clocked(pos_fabric_.get(), sim::kGlobalShard);
   scheduler_->add_clocked(frc_fabric_.get(), sim::kGlobalShard);
   scheduler_->add_clocked(mig_fabric_.get(), sim::kGlobalShard);
+
+  // Fabric telemetry needs every endpoint attached (one egress counter per
+  // destination), so it arms after the node loop above.
+  if (config_.obs) {
+    pos_fabric_->set_obs(config_.obs, obs::Comp::kNetPos, "pos");
+    frc_fabric_->set_obs(config_.obs, obs::Comp::kNetFrc, "frc");
+    mig_fabric_->set_obs(config_.obs, obs::Comp::kNetMig, "mig");
+  }
+  scheduler_->set_obs(config_.obs);
 
   // Load particles into the owning CBBs' caches.
   const geom::CellGrid grid = state.grid();
@@ -144,7 +160,8 @@ void Simulation::run(int iterations) {
   // this slack means the node has stopped ticking, so a degraded link whose
   // peer is silent gets attributed to the dead *node*, not the wire.
   constexpr sim::Cycle kNodeSilenceSlack = 64;
-  scheduler_->run_until(
+  try {
+    scheduler_->run_until(
       [&] {
         // Evaluated on the caller's thread between cycles (workers idle),
         // so reading node state here is race-free and throwing is safe.
@@ -178,9 +195,104 @@ void Simulation::run(int iterations) {
         }
         return true;
       },
-      budget);
+        budget);
+  } catch (const sync::NodeFailureError& e) {
+    // Mark the detection on the health track before the failure unwinds, so
+    // a supervised trace shows exactly where each attempt died. The stamp is
+    // the watchdog's own detection cycle — deterministic, so the event is
+    // identical for any worker count.
+    if (config_.obs) {
+      config_.obs->trace().instant(
+          obs::kClusterShard, e.node(), obs::Comp::kHealth, "node-failure",
+          e.detected_at(), "cycles_stalled",
+          static_cast<std::int64_t>(e.cycles_stalled()));
+    }
+    publish_metrics();
+    throw;
+  } catch (const sync::DegradedLinkError& e) {
+    if (config_.obs) {
+      config_.obs->trace().instant(
+          obs::kClusterShard, e.link().src, obs::Comp::kHealth,
+          "degraded-link", e.link().detected_at, "dst",
+          static_cast<std::int64_t>(e.link().dst));
+    }
+    publish_metrics();
+    throw;
+  }
   last_run_cycles_ = scheduler_->cycle() - start;
   last_run_iterations_ = iterations;
+  publish_metrics();
+}
+
+void Simulation::publish_metrics() {
+  if (!config_.obs) return;
+  obs::Registry& m = config_.obs->metrics();
+  const sim::Cycle now = scheduler_->cycle();
+
+  m.set(obs::kClusterNode, m.gauge("sim.cycles"), static_cast<double>(now));
+  m.set(obs::kClusterNode, m.gauge("sim.us_per_day"), microseconds_per_day());
+
+  const UtilizationReport u = utilization();
+  m.set(obs::kClusterNode, m.gauge("util.pr.hardware"), u.pr_hardware);
+  m.set(obs::kClusterNode, m.gauge("util.pr.time"), u.pr_time);
+  m.set(obs::kClusterNode, m.gauge("util.fr.hardware"), u.fr_hardware);
+  m.set(obs::kClusterNode, m.gauge("util.fr.time"), u.fr_time);
+  m.set(obs::kClusterNode, m.gauge("util.filter.hardware"), u.filter_hardware);
+  m.set(obs::kClusterNode, m.gauge("util.filter.time"), u.filter_time);
+  m.set(obs::kClusterNode, m.gauge("util.pe.hardware"), u.pe_hardware);
+  m.set(obs::kClusterNode, m.gauge("util.pe.time"), u.pe_time);
+  m.set(obs::kClusterNode, m.gauge("util.mu.hardware"), u.mu_hardware);
+  m.set(obs::kClusterNode, m.gauge("util.mu.time"), u.mu_time);
+
+  const TrafficReport t = traffic();
+  m.set(obs::kClusterNode, m.gauge("net.pos.gbps_per_node"),
+        t.position_gbps_per_node);
+  m.set(obs::kClusterNode, m.gauge("net.frc.gbps_per_node"),
+        t.force_gbps_per_node);
+
+  // Reliability record: cluster totals, then a per-link breakdown at the
+  // source node — but only for links that actually saw trouble, so a clean
+  // run does not bloat the registry with n^2 zero series.
+  const net::LinkStats& r = t.reliability_total;
+  m.set_counter(obs::kClusterNode, m.counter("net.rel.retransmits"),
+                r.retransmits);
+  m.set_counter(obs::kClusterNode, m.counter("net.rel.timeouts"), r.timeouts);
+  m.set_counter(obs::kClusterNode, m.counter("net.rel.acks"), r.acks_sent);
+  m.set_counter(obs::kClusterNode, m.counter("net.rel.nacks"), r.nacks_sent);
+  m.set(obs::kClusterNode, m.gauge("net.rel.max_retry_depth"),
+        static_cast<double>(r.max_retry_depth));
+  for (const auto& [link, s] : t.link_stats) {
+    if (!s.faults_seen() && !s.retransmits) continue;
+    const std::string base = "net.rel.to." + std::to_string(link.second) + ".";
+    const int src = link.first;
+    m.set_counter(src, m.counter(base + "drops"), s.injected_drops);
+    m.set_counter(src, m.counter(base + "dups"), s.injected_dups);
+    m.set_counter(src, m.counter(base + "reorders"), s.injected_reorders);
+    m.set_counter(src, m.counter(base + "corrupts"), s.injected_corrupts);
+    m.set_counter(src, m.counter(base + "retransmits"), s.retransmits);
+    m.set_counter(src, m.counter(base + "crc_failures"), s.crc_failures);
+    m.set_counter(src, m.counter(base + "dups_discarded"),
+                  s.duplicates_discarded);
+    m.set_counter(src, m.counter(base + "recovery_cycles"),
+                  static_cast<std::uint64_t>(s.recovery_cycles));
+  }
+
+  // Per-node health and a per-node PE time-utilization surface (the
+  // cluster-wide figure above averages over all nodes; stragglers show up
+  // here).
+  const obs::Handle h_hb = m.gauge("node.heartbeat");
+  const obs::Handle h_alive = m.gauge("node.alive");
+  const obs::Handle h_pe_time = m.gauge("node.pe.time_util");
+  for (const auto& node : nodes_) {
+    const int id = static_cast<int>(node->id());
+    m.set(id, h_hb, static_cast<double>(node->last_heartbeat()));
+    m.set(id, h_alive, node->alive(now) ? 1.0 : 0.0);
+    const std::uint64_t pe_instances =
+        static_cast<std::uint64_t>(node->num_cbbs()) *
+        static_cast<std::uint64_t>(config_.spes) *
+        static_cast<std::uint64_t>(config_.pes_per_spe);
+    m.set(id, h_pe_time, node->pe_util().time_utilization(now, pe_instances));
+  }
 }
 
 md::SystemState Simulation::state() const {

@@ -9,13 +9,14 @@
 namespace fasda::engine {
 
 ReplicaContext::ReplicaContext(const BatchJob& job, const Registry& registry)
-    : job_(job),
-      registry_(registry),
-      engine_(registry.create(job.state, job.ff, job.spec)) {}
+    : job_(job), registry_(registry), spec_(job.spec) {
+  spec_.obs = nullptr;
+  engine_ = registry.create(job.state, job.ff, spec_);
+}
 
 void ReplicaContext::rebuild(const md::SystemState& state) {
   steps_before_rebuilds_ += engine_->metrics().steps_completed;
-  engine_ = registry_.create(state, job_.ff, job_.spec);
+  engine_ = registry_.create(state, job_.ff, spec_);
 }
 
 BatchRunner::BatchRunner(std::size_t workers, const Registry& registry)

@@ -53,6 +53,46 @@ void XyzObserver::on_sample(int step, const md::SystemState& state,
   writer_.write(state, "step=" + std::to_string(step));
 }
 
+MetricsObserver::MetricsObserver(obs::Hub& hub, std::string path,
+                                 int write_every)
+    : hub_(hub),
+      path_(std::move(path)),
+      write_every_(write_every > 0 ? write_every : 1),
+      h_step_(hub.metrics().gauge("md.step")),
+      h_potential_(hub.metrics().gauge("md.energy.potential")),
+      h_kinetic_(hub.metrics().gauge("md.energy.kinetic")),
+      h_total_(hub.metrics().gauge("md.energy.total")),
+      h_temperature_(hub.metrics().gauge("md.temperature")),
+      h_samples_(hub.metrics().counter("md.samples")) {}
+
+void MetricsObserver::on_sample(int step, const md::SystemState&,
+                                const Energies& energies) {
+  obs::Registry& m = hub_.metrics();
+  m.set(obs::kClusterNode, h_step_, static_cast<double>(step));
+  m.set(obs::kClusterNode, h_potential_, energies.potential);
+  m.set(obs::kClusterNode, h_kinetic_, energies.kinetic);
+  m.set(obs::kClusterNode, h_total_, energies.total);
+  m.set(obs::kClusterNode, h_temperature_, energies.temperature);
+  m.add(obs::kClusterNode, h_samples_);
+  if (path_.empty()) return;
+  if (++samples_since_write_ >= write_every_) {
+    samples_since_write_ = 0;
+    write_file();
+  }
+}
+
+void MetricsObserver::on_finish(int, Engine&) {
+  if (!path_.empty()) write_file();
+}
+
+void MetricsObserver::write_file() {
+  const obs::MetricsSnapshot snap = hub_.metrics().snapshot();
+  const bool prom =
+      path_.size() >= 5 && path_.compare(path_.size() - 5, 5, ".prom") == 0;
+  obs::write_text_file(path_, prom ? snap.to_prometheus() : snap.to_json());
+  ++writes_;
+}
+
 CheckpointObserver::CheckpointObserver(std::string path)
     : path_(std::move(path)) {}
 

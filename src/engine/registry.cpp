@@ -105,6 +105,7 @@ core::ClusterConfig cluster_config_for(const EngineSpec& spec,
   c.faults = spec.faults;
   c.reliability = spec.reliability;
   if (spec.watchdog_budget > 0) c.watchdog_budget = spec.watchdog_budget;
+  c.obs = spec.obs;
   return c;
 }
 
@@ -133,6 +134,13 @@ void CycleEngine::update_metrics(StepMetrics& m) {
   const std::uint64_t pairs = sim_.pairs_issued();
   m.last_pair_count = static_cast<std::size_t>(pairs - prev_pairs_issued_);
   prev_pairs_issued_ = pairs;
+  if (obs::Hub* hub = sim_.obs()) {
+    // One engine-track instant per successful step() block, stamped with
+    // the simulated cycle the block ended on.
+    hub->trace().instant(obs::kClusterShard, obs::kClusterPid,
+                         obs::Comp::kEngine, "step", m.total_cycles, "steps",
+                         static_cast<std::int64_t>(m.steps_completed));
+  }
 }
 
 Registry& Registry::instance() {

@@ -116,10 +116,17 @@ FpgaNode::FpgaNode(NodeId id, const NodeConfig& config,
       frc_fabric_(frc_fabric),
       mig_fabric_(mig_fabric),
       chain_(static_cast<int>(neighbors_.size())),
-      barrier_(barrier) {
+      barrier_(barrier),
+      obs_(config.obs) {
   pos_fabric_->attach(&pos_ep_);
   frc_fabric_->attach(&frc_ep_);
   mig_fabric_->attach(&mig_ep_);
+  if (obs_ != nullptr) {
+    auto& m = obs_->metrics();
+    h_iterations_ = m.counter("node.iterations");
+    h_force_hist_ = m.histogram("phase.force.cycles");
+    h_mu_hist_ = m.histogram("phase.mu.cycles");
+  }
   if (config_.reliable) {
     pos_ep_.arm_reliability(config_.reliability);
     frc_ep_.arm_reliability(config_.reliability);
@@ -256,8 +263,8 @@ bool FpgaNode::alive(sim::Cycle now) const {
   return true;
 }
 
-const char* FpgaNode::phase_name() const {
-  switch (state_) {
+const char* FpgaNode::phase_name_of(State state) {
+  switch (state) {
     case State::kIdle: return "idle";
     case State::kForce: return "force";
     case State::kForceBarrier: return "force-barrier";
@@ -266,6 +273,38 @@ const char* FpgaNode::phase_name() const {
     case State::kDone: return "done";
   }
   return "unknown";
+}
+
+const char* FpgaNode::phase_name() const { return phase_name_of(state_); }
+
+void FpgaNode::set_state(State next, sim::Cycle now) {
+  if (obs_ != nullptr && next != state_) {
+    if (span_open_) {
+      obs_->trace().end(static_cast<int>(id_), static_cast<int>(id_),
+                        obs::Comp::kFsm, now);
+      span_open_ = false;
+      if (state_ == State::kForce) {
+        obs_->metrics().observe(static_cast<int>(id_), h_force_hist_,
+                                now - phase_start_);
+      } else if (state_ == State::kMotionUpdate) {
+        obs_->metrics().observe(static_cast<int>(id_), h_mu_hist_,
+                                now - phase_start_);
+      }
+    }
+    if (next != State::kIdle && next != State::kDone) {
+      obs_->trace().begin(static_cast<int>(id_), static_cast<int>(id_),
+                          obs::Comp::kFsm, phase_name_of(next), now);
+      span_open_ = true;
+      phase_start_ = now;
+    }
+  }
+  state_ = next;
+}
+
+void FpgaNode::sync_event(const char* name, sim::Cycle now) {
+  if (obs_ == nullptr) return;
+  obs_->trace().instant(static_cast<int>(id_), static_cast<int>(id_),
+                        obs::Comp::kSync, name, now);
 }
 
 void FpgaNode::tick(sim::Cycle now) {
@@ -469,18 +508,19 @@ void FpgaNode::enter_force_phase(sim::Cycle now) {
   chain_.begin_iteration();
   for (auto& c : cbbs_) c->begin_force_phase();
   force_phase_starts_.push_back(now);
-  state_ = State::kForce;
+  set_state(State::kForce, now);
 }
 
-void FpgaNode::enter_motion_update() {
+void FpgaNode::enter_motion_update(sim::Cycle now) {
   for (auto& c : cbbs_) c->begin_motion_update(dt_fs_, cell_size_, *ff_);
-  state_ = State::kMotionUpdate;
+  set_state(State::kMotionUpdate, now);
 }
 
 void FpgaNode::complete_iteration(sim::Cycle now) {
   ++iterations_completed_;
+  if (obs_ != nullptr) obs_->metrics().add(static_cast<int>(id_), h_iterations_);
   if (iterations_completed_ >= static_cast<std::uint64_t>(target_iterations_)) {
-    state_ = State::kDone;
+    set_state(State::kDone, now);
   } else {
     enter_force_phase(now);
   }
@@ -500,19 +540,21 @@ void FpgaNode::tick_fsm(sim::Cycle now) {
       if (!chain_.last_position_sent() && all_positions_injected()) {
         pos_ep_.flush_last(neighbors_);
         chain_.mark_last_position_sent();
+        sync_event("last-pos", now);
       }
       if (!chain_.last_force_sent() && chain_.last_position_sent() &&
           chain_.all_positions_received() && force_datapath_quiescent()) {
         frc_ep_.flush_last(neighbors_);
         chain_.mark_last_force_sent();
+        sync_event("last-frc", now);
       }
       if (chain_.may_enter_motion_update() && frc_side_drained() &&
           force_datapath_quiescent()) {
         if (config_.sync_mode == sync::SyncMode::kBulk) {
           barrier_->arrive(barrier_seq_, now);
-          state_ = State::kForceBarrier;
+          set_state(State::kForceBarrier, now);
         } else {
-          enter_motion_update();
+          enter_motion_update(now);
         }
       }
       return;
@@ -520,7 +562,7 @@ void FpgaNode::tick_fsm(sim::Cycle now) {
     case State::kForceBarrier:
       if (barrier_->released(barrier_seq_, now)) {
         ++barrier_seq_;
-        enter_motion_update();
+        enter_motion_update(now);
       }
       return;
     case State::kMotionUpdate: {
@@ -530,11 +572,12 @@ void FpgaNode::tick_fsm(sim::Cycle now) {
       if (!chain_.last_mu_sent() && local_mu_done) {
         mig_ep_.flush_last(neighbors_);
         chain_.mark_last_mu_sent();
+        sync_event("last-mu", now);
       }
       if (chain_.may_finish_motion_update() && mu_side_drained()) {
         if (config_.sync_mode == sync::SyncMode::kBulk) {
           barrier_->arrive(barrier_seq_, now);
-          state_ = State::kMuBarrier;
+          set_state(State::kMuBarrier, now);
         } else {
           complete_iteration(now);
         }

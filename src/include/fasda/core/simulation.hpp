@@ -63,6 +63,13 @@ struct ClusterConfig {
   /// execution on min(N, num_nodes) workers. Parallel runs are bitwise
   /// identical to serial ones (see "Threading model" in DESIGN.md).
   int num_worker_threads = 0;
+  /// Telemetry hub (null = disabled). When set, every layer publishes into
+  /// it: nodes emit FSM phase spans and sync instants into their own shard,
+  /// the fabrics emit traffic counters and fault/retransmit events, and
+  /// run() folds the utilization/traffic reports into registry gauges. All
+  /// stamps are simulated cycles, so output is identical across worker
+  /// counts. The hub must outlive the Simulation.
+  obs::Hub* obs = nullptr;
 };
 
 /// Fig. 17's per-component breakdown, aggregated over the cluster.
@@ -133,6 +140,19 @@ class Simulation {
   int num_workers() const { return num_workers_; }
 
   const idmap::ClusterMap& map() const { return map_; }
+
+  /// The attached telemetry hub (null when telemetry is disabled).
+  obs::Hub* obs() const { return config_.obs; }
+
+  /// Folds the utilization/traffic/health reports into the metrics
+  /// registry: `util.*` and `net.*.gbps_per_node` gauges, `net.rel.*`
+  /// reliability counters (cluster totals plus per-link breakdowns at the
+  /// source node), `sim.cycles`/`sim.us_per_day`, and per-node
+  /// `node.heartbeat`/`node.alive` health gauges. run() calls this on every
+  /// exit path (including before rethrowing a failure); it is idempotent —
+  /// gauges overwrite and counters are set, not accumulated. No-op with no
+  /// hub attached.
+  void publish_metrics();
 
  private:
   md::ForceField ff_;

@@ -59,6 +59,10 @@ class ReplicaContext {
  private:
   const BatchJob& job_;
   const Registry& registry_;
+  /// job.spec with the telemetry hub detached: replicas run concurrently,
+  /// and the obs sharding contract (one writer per shard) does not hold
+  /// across independent replicas sharing a hub.
+  EngineSpec spec_;
   std::unique_ptr<Engine> engine_;
   long long steps_before_rebuilds_ = 0;
 };

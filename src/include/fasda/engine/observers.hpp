@@ -12,6 +12,7 @@
 
 #include "fasda/engine/engine.hpp"
 #include "fasda/md/xyz_io.hpp"
+#include "fasda/obs/obs.hpp"
 
 namespace fasda::engine {
 
@@ -64,6 +65,39 @@ class XyzObserver final : public StepObserver {
 
  private:
   md::XyzWriter writer_;
+};
+
+/// Publishes every sample into the metrics registry (`md.step` and the
+/// `md.energy.*` gauges, a `md.samples` counter) and, when given a path,
+/// rewrites the whole snapshot there every `write_every` samples and once
+/// more on finish — a poor man's scrape endpoint for a batch run. A path
+/// ending in ".prom" gets Prometheus text exposition, anything else JSON.
+/// The registry values are simulation state only, so the written file is
+/// identical for any worker count.
+class MetricsObserver final : public StepObserver {
+ public:
+  explicit MetricsObserver(obs::Hub& hub, std::string path = {},
+                           int write_every = 1);
+  void on_sample(int step, const md::SystemState& state,
+                 const Energies& energies) override;
+  void on_finish(int steps, Engine& engine) override;
+
+  int writes() const { return writes_; }
+
+ private:
+  void write_file();
+
+  obs::Hub& hub_;
+  std::string path_;
+  int write_every_;
+  int samples_since_write_ = 0;
+  int writes_ = 0;
+  obs::Handle h_step_;
+  obs::Handle h_potential_;
+  obs::Handle h_kinetic_;
+  obs::Handle h_total_;
+  obs::Handle h_temperature_;
+  obs::Handle h_samples_;
 };
 
 /// Remembers the most recent sample and saves it as a binary checkpoint on

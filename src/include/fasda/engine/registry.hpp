@@ -15,6 +15,7 @@
 #include "fasda/core/simulation.hpp"
 #include "fasda/engine/engine.hpp"
 #include "fasda/interp/interp_table.hpp"
+#include "fasda/obs/obs.hpp"
 
 namespace fasda::engine {
 
@@ -43,6 +44,12 @@ struct EngineSpec {
   /// Cycle-engine watchdog budget (DESIGN.md §11); 0 = keep the
   /// ClusterConfig default.
   sim::Cycle watchdog_budget = 0;
+  /// Telemetry hub (null = disabled; DESIGN.md §12). The cycle engine
+  /// plumbs it through the whole cluster; every back end emits engine-level
+  /// step events. Must outlive every engine built from this spec. Replicas
+  /// running concurrently (BatchRunner) must not share one hub — the runner
+  /// detaches it.
+  obs::Hub* obs = nullptr;
 };
 
 class Registry {

@@ -19,6 +19,7 @@
 
 #include "fasda/cbb/cbb.hpp"
 #include "fasda/net/network.hpp"
+#include "fasda/obs/obs.hpp"
 #include "fasda/sync/sync.hpp"
 
 namespace fasda::fpga {
@@ -39,6 +40,10 @@ struct NodeConfig {
   /// fault holds the node down, neither the control tick nor any datapath
   /// component runs — the node simply stops, like a real board.
   std::vector<net::NodeFault> node_faults;
+  /// Telemetry hub (null = disabled). The node emits FSM phase spans, sync
+  /// last-flush instants, phase-length histograms and an iteration counter,
+  /// all into its own shard.
+  obs::Hub* obs = nullptr;
 };
 
 class FpgaNode;
@@ -164,8 +169,15 @@ class FpgaNode : public sim::Component {
   bool frc_side_drained() const;
   bool mu_side_drained() const;
   void enter_force_phase(sim::Cycle now);
-  void enter_motion_update();
+  void enter_motion_update(sim::Cycle now);
   void complete_iteration(sim::Cycle now);
+
+  static const char* phase_name_of(State state);
+  /// FSM transition with telemetry: closes the open phase span, records the
+  /// phase-length histogram, and opens the next span (kIdle/kDone have no
+  /// span of their own).
+  void set_state(State next, sim::Cycle now);
+  void sync_event(const char* name, sim::Cycle now);
 
   geom::IVec3 node_of_lcid(const geom::IVec3& lcid) const;
   int local_delivery_count(const geom::IVec3& src_lcid) const;
@@ -220,6 +232,14 @@ class FpgaNode : public sim::Component {
   const md::ForceField* ff_ = nullptr;
 
   std::vector<std::unique_ptr<Gated>> gates_;
+
+  // Telemetry (null hub = disabled; handles resolved at construction).
+  obs::Hub* obs_ = nullptr;
+  obs::Handle h_iterations_ = 0;
+  obs::Handle h_force_hist_ = 0;
+  obs::Handle h_mu_hist_ = 0;
+  sim::Cycle phase_start_ = 0;
+  bool span_open_ = false;
 };
 
 }  // namespace fasda::fpga

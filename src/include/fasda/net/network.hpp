@@ -48,6 +48,8 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -619,6 +621,30 @@ class Fabric : public sim::Clocked {
 
   const std::optional<FaultPlan>& fault_plan() const { return plan_; }
 
+  /// Attaches telemetry (null detaches): live per-packet counters
+  /// attributed to the source node, plus instant trace events for injected
+  /// faults and retransmitted data packets. Counters and events are emitted
+  /// from commit() — single-threaded, ascending source order — so they are
+  /// worker-count independent. Call after every endpoint is attached.
+  void set_obs(obs::Hub* hub, obs::Comp comp, std::string_view channel) {
+    obs_ = hub;
+    comp_ = comp;
+    if (hub == nullptr) return;
+    auto& m = hub->metrics();
+    const std::string base = "net." + std::string(channel);
+    h_packets_ = m.counter(base + ".packets");
+    h_control_ = m.counter(base + ".control_packets");
+    h_retransmits_ = m.counter(base + ".retransmit_packets");
+    h_fault_drop_ = m.counter(base + ".faults.drop");
+    h_fault_dup_ = m.counter(base + ".faults.dup");
+    h_fault_reorder_ = m.counter(base + ".faults.reorder");
+    h_fault_corrupt_ = m.counter(base + ".faults.corrupt");
+    to_handles_.clear();
+    for (std::size_t dst = 0; dst < endpoints_.size(); ++dst) {
+      to_handles_.push_back(m.counter(base + ".to." + std::to_string(dst)));
+    }
+  }
+
   /// The egress `send` hook: stages the packet in the sender's own slot.
   /// Safe to call concurrently from different source shards; two packets
   /// from the same source are staged in send order.
@@ -634,9 +660,12 @@ class Fabric : public sim::Clocked {
   void commit() override {
     for (auto& q : staged_) {
       for (Staged& s : q) {
-        count_traffic(s.packet);
+        // Everything staged this cycle was sent this cycle; reorder delay is
+        // added after this point, so the send stamp is exact.
+        const sim::Cycle sent = s.arrival - config_.link_latency;
+        count_traffic(s.packet, sent);
         if (plan_) {
-          apply_faults(s);
+          apply_faults(s, sent);
         } else {
           endpoints_.at(s.packet.dst)->deliver(s.packet, s.arrival);
         }
@@ -664,16 +693,35 @@ class Fabric : public sim::Clocked {
     std::uint64_t data_seen = 0;
   };
 
-  void count_traffic(const Packet<R>& p) {
+  void count_traffic(const Packet<R>& p, sim::Cycle sent) {
     if (p.kind == PacketKind::kControl) {
       ++traffic_.control_packets;
+      if (obs_ != nullptr) obs_->metrics().add(p.src, h_control_);
       return;
     }
     traffic_.record(p.src, p.dst);
     if (p.retransmit) ++traffic_.retransmit_packets;
+    if (obs_ != nullptr) {
+      auto& m = obs_->metrics();
+      m.add(p.src, h_packets_);
+      m.add(p.src, to_handles_[static_cast<std::size_t>(p.dst)]);
+      if (p.retransmit) {
+        m.add(p.src, h_retransmits_);
+        obs_->trace().instant(obs::kClusterShard, p.src, comp_, "retransmit",
+                              sent, "dst", p.dst);
+      }
+    }
   }
 
-  void apply_faults(Staged& s) {
+  void fault_event(const char* name, obs::Handle h, NodeId src, NodeId dst,
+                   sim::Cycle sent) {
+    if (obs_ == nullptr) return;
+    obs_->metrics().add(src, h);
+    obs_->trace().instant(obs::kClusterShard, src, comp_, name, sent, "dst",
+                          dst);
+  }
+
+  void apply_faults(Staged& s, sim::Cycle sent) {
     const NodeId src = s.packet.src;
     const NodeId dst = s.packet.dst;
     // A crashed node's switch port is down: everything addressed to it
@@ -685,6 +733,7 @@ class Fabric : public sim::Clocked {
       const auto down = plan_->node_links_down_at(dst);
       if (down && s.arrival >= *down) {
         ++fault_stats_[{src, dst}].injected_drops;
+        fault_event("port-down-drop", h_fault_drop_, src, dst, sent);
         return;
       }
     }
@@ -698,6 +747,7 @@ class Fabric : public sim::Clocked {
     LinkStats& st = fault_stats_[{src, dst}];
     if (lf.dead) {
       ++st.injected_drops;
+      fault_event("dead-link-drop", h_fault_drop_, src, dst, sent);
       return;
     }
     FaultState& fs = fault_state(src, dst);
@@ -709,12 +759,14 @@ class Fabric : public sim::Clocked {
     if (lf.drop > 0 && fs.rng.uniform() < lf.drop) drop = true;
     if (drop) {
       ++st.injected_drops;
+      fault_event("drop", h_fault_drop_, src, dst, sent);
       return;
     }
     Packet<R> p = s.packet;
     if (lf.corrupt > 0 && fs.rng.uniform() < lf.corrupt) {
       corrupt_packet(p, fs.rng());
       ++st.injected_corrupts;
+      fault_event("corrupt", h_fault_corrupt_, src, dst, sent);
     }
     sim::Cycle arrival = s.arrival;
     if (lf.reorder > 0 && fs.rng.uniform() < lf.reorder) {
@@ -722,11 +774,13 @@ class Fabric : public sim::Clocked {
       arrival += 1 + fs.rng.below(
                          static_cast<std::uint64_t>(4 * config_.cooldown + 8));
       ++st.injected_reorders;
+      fault_event("reorder", h_fault_reorder_, src, dst, sent);
     }
     endpoints_.at(dst)->deliver(p, arrival);
     if (lf.dup > 0 && fs.rng.uniform() < lf.dup) {
       endpoints_.at(dst)->deliver(p, arrival + 1);
       ++st.injected_dups;
+      fault_event("dup", h_fault_dup_, src, dst, sent);
     }
   }
 
@@ -748,6 +802,18 @@ class Fabric : public sim::Clocked {
   std::uint64_t salt_ = 0;
   std::map<Link, FaultState> fault_state_;
   std::map<Link, LinkStats> fault_stats_;
+
+  // Telemetry (null hub = disabled; handles resolved once in set_obs).
+  obs::Hub* obs_ = nullptr;
+  obs::Comp comp_ = obs::Comp::kNetPos;
+  obs::Handle h_packets_ = 0;
+  obs::Handle h_control_ = 0;
+  obs::Handle h_retransmits_ = 0;
+  obs::Handle h_fault_drop_ = 0;
+  obs::Handle h_fault_dup_ = 0;
+  obs::Handle h_fault_reorder_ = 0;
+  obs::Handle h_fault_corrupt_ = 0;
+  std::vector<obs::Handle> to_handles_;
 };
 
 }  // namespace fasda::net

@@ -1,0 +1,46 @@
+#pragma once
+// fasda::obs — deterministic telemetry hub (DESIGN.md §12). One Hub owns
+// the metrics registry and the trace bus for one observed engine/cluster at
+// a time; every surface takes a nullable `obs::Hub*` and a null hub is the
+// disabled path (a single pointer test per emission site, nothing else).
+//
+// Determinism rule: everything published through the hub is derived from
+// simulated state only — cycle counts, packet counts, fixed-point sums —
+// never wall-clock or thread identity, so snapshots and traces from the
+// same workload are bitwise identical for 1/2/4 workers.
+
+#include <string>
+#include <string_view>
+
+#include "fasda/obs/metrics.hpp"
+#include "fasda/obs/trace.hpp"
+
+namespace fasda::obs {
+
+class Hub {
+ public:
+  Registry& metrics() { return metrics_; }
+  const Registry& metrics() const { return metrics_; }
+  TraceBus& trace() { return trace_; }
+  const TraceBus& trace() const { return trace_; }
+
+  /// Sizes both pillars for a cluster of `num_nodes`. Idempotent and
+  /// grow-only, so supervised rebuilds (and degraded re-shards) keep
+  /// appending to the same telemetry.
+  void attach_cluster(int num_nodes) {
+    metrics_.ensure_nodes(num_nodes);
+    trace_.ensure_nodes(num_nodes);
+  }
+
+  /// Supervisor hook: call between engine attempts (see TraceBus).
+  void begin_epoch() { trace_.begin_epoch(); }
+
+ private:
+  Registry metrics_;
+  TraceBus trace_;
+};
+
+/// Writes `content` to `path` (truncating). Returns false on I/O failure.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace fasda::obs

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "fasda/obs/obs.hpp"
+
 namespace fasda::sim {
 
 using Cycle = std::uint64_t;
@@ -188,6 +190,15 @@ class Scheduler {
 
   Cycle cycle() const { return cycle_; }
 
+  /// Telemetry hub (nullable; null is the disabled path). Attach after
+  /// registration is complete and never mid-run; run_until brackets each
+  /// driving window in a scheduler-track span. Note nothing published here
+  /// may depend on the worker count — traces and snapshots are bitwise
+  /// identical across 1/2/4 workers, so the execution shape stays out of
+  /// the registry.
+  void set_obs(obs::Hub* hub) { obs_ = hub; }
+  obs::Hub* obs() const { return obs_; }
+
   virtual void run_cycle() {
     for (Component* c : components_) c->tick(cycle_);
     for (Clocked* c : clocked_) c->commit();
@@ -196,13 +207,26 @@ class Scheduler {
 
   /// Runs until done() is true (checked between cycles) or the budget is
   /// exhausted; returns the cycle count at exit. Throws on budget overrun so
-  /// deadlocks in the model fail loudly.
+  /// deadlocks in the model fail loudly. When done() throws (watchdog, link
+  /// degradation) the scheduler span stays open and is closed at the trace
+  /// high-water mark by the next epoch or the export.
   Cycle run_until(const std::function<bool()>& done, Cycle max_cycles) {
+    if (obs_ != nullptr) {
+      obs_->trace().begin(obs::kClusterShard, obs::kClusterPid,
+                          obs::Comp::kScheduler, "run-until", cycle_);
+    }
     while (!done()) {
       if (cycle_ >= max_cycles) {
         throw std::runtime_error("Scheduler::run_until exceeded cycle budget");
       }
       run_cycle();
+    }
+    if (obs_ != nullptr) {
+      obs_->trace().end(obs::kClusterShard, obs::kClusterPid,
+                        obs::Comp::kScheduler, cycle_);
+      obs_->metrics().set(obs::kClusterNode,
+                          obs_->metrics().gauge("sched.cycles"),
+                          static_cast<double>(cycle_));
     }
     return cycle_;
   }
@@ -214,6 +238,7 @@ class Scheduler {
   std::vector<Component*> components_;
   std::vector<Clocked*> clocked_;
   Cycle cycle_ = 0;
+  obs::Hub* obs_ = nullptr;
 };
 
 }  // namespace fasda::sim

@@ -63,6 +63,10 @@ struct Incident {
   /// link's destination for kDegradedLink, -1 otherwise.
   idmap::NodeId node = -1;
   std::string phase;     ///< FSM phase a failed node stalled in (if known)
+  /// Simulated cycle the failure was detected at (the watchdog's or the
+  /// retransmit protocol's detection stamp) — matches the `cycle` argument
+  /// of the incident's trace event when a hub is attached.
+  sim::Cycle detected_at = 0;
   long long at_step = 0; ///< checkpointed step the run rolled back to
   std::string error;     ///< the exception text
   bool recovered = false;       ///< a later attempt stepped past it

@@ -1,9 +1,13 @@
 #pragma once
 // Minimal leveled logger (printf-style; GCC 12 lacks <format>). Benches and
 // examples print their own tables; the logger is for diagnostics, so it
-// stays out of hot paths entirely.
+// stays out of hot paths entirely. Output goes to stderr unless a sink is
+// installed (set_log_sink), which lets tests capture log lines and tools
+// redirect them.
 
 #include <cstdarg>
+#include <functional>
+#include <string_view>
 
 namespace fasda::util {
 
@@ -13,6 +17,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// library users see nothing unless they opt in.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// Parses "debug" / "info" / "warn" / "error" / "off"; throws
+/// std::invalid_argument naming the bad token otherwise (--log-level flag).
+LogLevel parse_log_level(std::string_view name);
+const char* log_level_name(LogLevel level) noexcept;
+
+/// Receives every emitted line, already formatted and without a trailing
+/// newline. Called under the emit mutex, so sinks need no locking of their
+/// own but must not log re-entrantly.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replaces the stderr writer; an empty sink restores it.
+void set_log_sink(LogSink sink);
 
 namespace detail {
 void log_emit(LogLevel level, const char* fmt, std::va_list args);

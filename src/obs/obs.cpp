@@ -1,0 +1,16 @@
+#include "fasda/obs/obs.hpp"
+
+#include <cstdio>
+
+namespace fasda::obs {
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+}  // namespace fasda::obs

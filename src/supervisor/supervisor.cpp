@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "fasda/md/checkpoint.hpp"
+#include "fasda/obs/obs.hpp"
 #include "fasda/sync/sync.hpp"
 
 namespace fasda::supervisor {
@@ -74,23 +75,44 @@ RunReport Supervisor::run(int steps,
     std::this_thread::sleep_for(delay);
   };
 
+  obs::Hub* hub = spec_.obs;
+  auto supervisor_event = [&](const char* name, int pid, sim::Cycle cycle,
+                              const char* arg_name, std::int64_t arg) {
+    if (!hub) return;
+    hub->trace().instant(obs::kClusterShard, pid, obs::Comp::kSupervisor,
+                         name, cycle, arg_name, arg);
+  };
+  // The rebuilt engine restarts its scheduler at cycle 0; a new trace epoch
+  // closes whatever spans the crashed attempt abandoned and keeps exported
+  // timestamps monotone across the restart.
+  auto rebuild_epoch = [](obs::Hub* h) {
+    if (h) h->begin_epoch();
+  };
+
   // Records the incident and decides the reaction. Returns false when the
   // restart budget is spent (give up); true after preparing spec_ for the
   // next build (reboot = transient faults cleared, or degraded re-shard
   // when the same node died twice in a row and the caller allowed it).
   auto on_failure = [&](IncidentKind kind, idmap::NodeId node,
-                        std::string phase, const std::string& what) -> bool {
+                        std::string phase, sim::Cycle detected_at,
+                        const std::string& what) -> bool {
     Incident inc;
     inc.attempt = attempt;
     inc.kind = kind;
     inc.node = node;
     inc.phase = std::move(phase);
+    inc.detected_at = detected_at;
     inc.at_step = ckpt.step;
     inc.error = what;
     report.incidents.push_back(inc);
+    // Exactly one bus event per recorded incident, stamped with the same
+    // detection cycle the Incident carries (tests/supervisor_test.cpp).
+    supervisor_event("incident", node, detected_at, "attempt", attempt);
 
     if (report.restarts >= config_.max_restarts) {
       report.final_error = what;
+      supervisor_event("give-up", node, detected_at, "restarts",
+                       report.restarts);
       return false;
     }
     ++report.restarts;
@@ -102,6 +124,7 @@ RunReport Supervisor::run(int steps,
     if (repeat && config_.allow_degraded && !report.degraded && reshard()) {
       report.degraded = true;
       report.incidents.back().caused_reshard = true;
+      supervisor_event("reshard", node, detected_at, "attempt", attempt);
       return true;
     }
     // Same-topology restart: the board rebooted, which clears its transient
@@ -124,20 +147,24 @@ RunReport Supervisor::run(int steps,
       engine->step(block);
     } catch (const sync::NodeFailureError& e) {
       if (!on_failure(IncidentKind::kNodeFailure, e.node(), e.phase(),
-                      e.what())) {
+                      e.detected_at(), e.what())) {
         report.steps = ckpt.step;
         report.final_state = ckpt.state;
         return report;
       }
+      rebuild_epoch(hub);
+      supervisor_event("restart", e.node(), 0, "attempt", attempt);
       engine = registry_.create(ckpt.state, ff_, spec_);
       continue;
     } catch (const sync::DegradedLinkError& e) {
       if (!on_failure(IncidentKind::kDegradedLink, e.link().dst, "",
-                      e.what())) {
+                      e.link().detected_at, e.what())) {
         report.steps = ckpt.step;
         report.final_state = ckpt.state;
         return report;
       }
+      rebuild_epoch(hub);
+      supervisor_event("restart", e.link().dst, 0, "attempt", attempt);
       engine = registry_.create(ckpt.state, ff_, spec_);
       continue;
     }
@@ -146,6 +173,9 @@ RunReport Supervisor::run(int steps,
     ckpt.step += block;
     ckpt.state = engine->state();
     ++report.checkpoints_taken;
+    supervisor_event("checkpoint", obs::kClusterPid,
+                     engine->metrics().total_cycles, "step",
+                     static_cast<std::int64_t>(ckpt.step));
     report.steps = ckpt.step;
     for (Incident& inc : report.incidents) inc.recovered = true;
     if (!config_.checkpoint_path.empty()) {

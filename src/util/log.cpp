@@ -3,14 +3,18 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 
 namespace fasda::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_emit_mutex;
+LogSink g_sink;  // guarded by g_emit_mutex
+}  // namespace
 
-constexpr const char* level_name(LogLevel level) {
+const char* log_level_name(LogLevel level) noexcept {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
@@ -20,15 +24,46 @@ constexpr const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level '" + std::string(name) +
+                              "' (expected debug|info|warn|error|off)");
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard lock(g_emit_mutex);
+  g_sink = std::move(sink);
+}
+
 namespace detail {
 void log_emit(LogLevel level, const char* fmt, std::va_list args) {
   std::lock_guard lock(g_emit_mutex);
-  std::fprintf(stderr, "[fasda %-5s] ", level_name(level));
+  if (g_sink) {
+    // Format to a buffer so the sink sees one complete line.
+    char stack_buf[512];
+    std::va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(stack_buf, sizeof stack_buf, fmt, copy);
+    va_end(copy);
+    if (n < 0) return;
+    if (static_cast<std::size_t>(n) < sizeof stack_buf) {
+      g_sink(level, std::string_view(stack_buf, static_cast<std::size_t>(n)));
+    } else {
+      std::string big(static_cast<std::size_t>(n) + 1, '\0');
+      std::vsnprintf(big.data(), big.size(), fmt, args);
+      g_sink(level, std::string_view(big.data(), static_cast<std::size_t>(n)));
+    }
+    return;
+  }
+  std::fprintf(stderr, "[fasda %-5s] ", log_level_name(level));
   std::vfprintf(stderr, fmt, args);
   std::fputc('\n', stderr);
 }

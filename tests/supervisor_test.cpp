@@ -14,11 +14,14 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "fasda/core/simulation.hpp"
 #include "fasda/engine/registry.hpp"
 #include "fasda/md/dataset.hpp"
+#include "fasda/obs/obs.hpp"
 #include "fasda/supervisor/supervisor.hpp"
 #include "fasda/sync/sync.hpp"
 
@@ -324,6 +327,95 @@ TEST(Supervisor, RecoveryNeverDuplicatesObserverSamples) {
   ASSERT_EQ(report.restarts, 1);
   EXPECT_EQ(obs.steps, (std::vector<int>{0, 1, 2, 3, 4, 5}));
   EXPECT_EQ(obs.finishes, 1);
+}
+
+// ------------------------------------------------- telemetry (obs hub)
+
+// Every supervisor::Incident appears exactly once on the trace bus, with
+// the event's cycle stamp equal to the incident's detected_at — and the
+// whole telemetry stream from a crash-recover run is bitwise identical
+// across worker counts, like the trajectory itself.
+TEST(Supervisor, IncidentsAppearExactlyOnceOnTraceBusWithMatchingStamps) {
+  std::string want_trace, want_metrics;
+  for (int workers : {1, 2, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    auto spec = cycle_spec(workers);
+    arm_fast_detection(spec);
+    net::NodeFault crash;
+    crash.kind = net::NodeFaultKind::kCrash;
+    crash.node = 1;
+    crash.at = 2500;
+    spec.faults->node_faults.push_back(crash);
+    obs::Hub hub;
+    spec.obs = &hub;
+
+    supervisor::SupervisorConfig cfg;
+    cfg.checkpoint_every = 1;
+    supervisor::Supervisor sup(cluster_state(), md::ForceField::sodium(),
+                               spec, cfg);
+    const auto report = sup.run(kSteps);
+    ASSERT_TRUE(report.completed) << report.final_error;
+    ASSERT_EQ(report.incidents.size(), 1u);
+
+    // Exactly one "incident" event per report entry, stamps matching.
+    std::vector<const obs::TraceEvent*> incidents;
+    int restarts = 0, checkpoints = 0;
+    const auto events = hub.trace().events();
+    for (const obs::TraceEvent& e : events) {
+      if (e.tid != obs::Comp::kSupervisor) continue;
+      const std::string_view name = e.name;
+      if (name == "incident") incidents.push_back(&e);
+      if (name == "restart") ++restarts;
+      if (name == "checkpoint") ++checkpoints;
+    }
+    ASSERT_EQ(incidents.size(), report.incidents.size());
+    for (std::size_t i = 0; i < incidents.size(); ++i) {
+      EXPECT_EQ(incidents[i]->cycle, report.incidents[i].detected_at);
+      EXPECT_EQ(incidents[i]->pid, report.incidents[i].node);
+    }
+    EXPECT_GT(report.incidents[0].detected_at, 2500u)
+        << "detection cannot precede the crash";
+    EXPECT_EQ(restarts, report.restarts);
+    EXPECT_GE(checkpoints, kSteps);  // banked blocks from both attempts
+
+    const std::string trace = hub.trace().to_chrome_json();
+    const std::string metrics = hub.metrics().snapshot().to_json();
+    if (workers == 1) {
+      want_trace = trace;
+      want_metrics = metrics;
+      continue;
+    }
+    EXPECT_EQ(trace, want_trace);
+    EXPECT_EQ(metrics, want_metrics);
+  }
+}
+
+// Burned-out restart budgets leave a "give-up" marker; each failed attempt
+// still contributes its own incident event exactly once.
+TEST(Supervisor, GiveUpEmitsOneEventPerIncident) {
+  auto spec = cycle_spec(1);
+  spec.faults = net::FaultPlan::parse("die=0-1500");
+  spec.reliability.max_retries = 3;
+  obs::Hub hub;
+  spec.obs = &hub;
+
+  supervisor::SupervisorConfig cfg;
+  cfg.checkpoint_every = 1;
+  cfg.max_restarts = 1;
+  supervisor::Supervisor sup(cluster_state(), md::ForceField::sodium(), spec,
+                             cfg);
+  const auto report = sup.run(kSteps);
+  EXPECT_FALSE(report.completed);
+
+  int incidents = 0, give_ups = 0;
+  for (const obs::TraceEvent& e : hub.trace().events()) {
+    if (e.tid != obs::Comp::kSupervisor) continue;
+    const std::string_view name = e.name;
+    if (name == "incident") ++incidents;
+    if (name == "give-up") ++give_ups;
+  }
+  EXPECT_EQ(incidents, static_cast<int>(report.incidents.size()));
+  EXPECT_EQ(give_ups, 1);
 }
 
 }  // namespace

@@ -45,6 +45,14 @@
 //   --max-restarts N     engine rebuilds before giving up (default 3)
 //   --allow-degraded     permit the re-shard onto surviving nodes when the
 //                        same node dies twice (permanent death)
+// Observability flags (DESIGN.md section 12):
+//   --log-level L      debug | info | warn | error | off (default warn)
+//   --trace-out FILE   write a Chrome trace_event JSON of the run (load at
+//                      ui.perfetto.dev); written on every exit path,
+//                      including after an unrecovered failure
+//   --metrics-out FILE write the metrics-registry snapshot; a .prom
+//                      extension selects Prometheus text, else JSON
+//   --metrics-every N  rewrite --metrics-out every N samples (default 1)
 //
 // Exit codes: 0 = completed; 1 = usage/config error; 2 = unrecovered
 // degraded link; 3 = unrecovered node failure; 4 = completed, but in
@@ -60,9 +68,11 @@
 #include "fasda/engine/registry.hpp"
 #include "fasda/md/checkpoint.hpp"
 #include "fasda/md/dataset.hpp"
+#include "fasda/obs/obs.hpp"
 #include "fasda/supervisor/supervisor.hpp"
 #include "fasda/sync/sync.hpp"
 #include "fasda/util/cli.hpp"
+#include "fasda/util/log.hpp"
 
 namespace {
 
@@ -99,6 +109,15 @@ void print_incidents(const fasda::supervisor::RunReport& report) {
 int main(int argc, char** argv) {
   using namespace fasda;
   const util::Cli cli(argc, argv);
+
+  if (auto level = cli.get("log-level")) {
+    try {
+      util::set_log_level(util::parse_log_level(*level));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
 
   engine::EngineSpec spec;
   spec.engine = cli.get_or("engine", "functional");
@@ -151,13 +170,42 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Telemetry: one hub for the whole run; the spec plumbs it through every
+  // layer of the cycle engine. flush_obs runs on every exit path once the
+  // run started, so a crashed run still leaves a loadable trace behind.
+  const auto trace_out = cli.get("trace-out");
+  const auto metrics_out = cli.get("metrics-out");
+  const int metrics_every = static_cast<int>(cli.get_or("metrics-every", 1L));
+  obs::Hub hub;
+  if (trace_out || metrics_out) spec.obs = &hub;
+  auto flush_obs = [&] {
+    if (trace_out && !obs::write_text_file(*trace_out,
+                                           hub.trace().to_chrome_json())) {
+      std::fprintf(stderr, "trace-out: cannot write %s\n", trace_out->c_str());
+    }
+    if (metrics_out) {
+      const obs::MetricsSnapshot snap = hub.metrics().snapshot();
+      const std::string& p = *metrics_out;
+      const bool prom =
+          p.size() >= 5 && p.compare(p.size() - 5, 5, ".prom") == 0;
+      if (!obs::write_text_file(p, prom ? snap.to_prometheus()
+                                        : snap.to_json())) {
+        std::fprintf(stderr, "metrics-out: cannot write %s\n", p.c_str());
+      }
+    }
+  };
+
   engine::EnergyTablePrinter table;
   std::optional<engine::XyzObserver> xyz;
   std::optional<engine::CheckpointObserver> checkpoint;
+  std::optional<engine::MetricsObserver> metrics;
   std::vector<engine::StepObserver*> observers{&table};
   if (auto path = cli.get("xyz")) observers.push_back(&xyz.emplace(*path, ff));
   if (auto path = cli.get("checkpoint")) {
     observers.push_back(&checkpoint.emplace(*path));
+  }
+  if (metrics_out) {
+    observers.push_back(&metrics.emplace(hub, *metrics_out, metrics_every));
   }
 
   if (cli.has("supervise")) {
@@ -181,6 +229,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     print_incidents(report);
+    flush_obs();
     if (!report.completed) {
       std::fprintf(stderr, "\nsupervision gave up after %d restart(s): %s\n",
                    report.restarts, report.final_error.c_str());
@@ -218,11 +267,14 @@ int main(int argc, char** argv) {
     result = engine::run(*eng, steps, sample, observers);
   } catch (const sync::DegradedLinkError& e) {
     std::fprintf(stderr, "\n%s\n", e.what());
+    flush_obs();
     return 2;
   } catch (const sync::NodeFailureError& e) {
     std::fprintf(stderr, "\n%s\n", e.what());
+    flush_obs();
     return 3;
   }
+  flush_obs();
 
   std::printf("\nwall time: %.2f s (%.1f ms/step)\n", result.wall_seconds,
               1000.0 * result.wall_seconds / steps);

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Structural validator for fasda --trace-out Chrome trace files.
+
+Checks the invariants the obs trace bus promises (DESIGN.md §12):
+
+  * the file is valid JSON with a top-level "traceEvents" array;
+  * every event carries the required keys for its phase ('B'/'E'/'i'
+    duration and instant events, 'M' metadata);
+  * per (pid, tid) track, 'B'/'E' events balance like a stack — no span is
+    closed that was never opened, none is left open at end of trace;
+  * per (pid, tid) track, timestamps never decrease (metadata excluded);
+  * args.cycle, when present, is a non-negative integer.
+
+Stdlib only; exit 0 if the trace is valid, 1 otherwise with one line per
+violation on stderr.
+
+Usage: validate_trace.py TRACE.json [TRACE2.json ...]
+"""
+
+import json
+import sys
+
+REQUIRED = {"ph", "pid", "tid", "name"}
+
+
+def validate(path):
+    errors = []
+
+    def err(i, msg):
+        errors.append(f"{path}: event {i}: {msg}")
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: not readable as JSON: {e}"]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: missing top-level 'traceEvents' array"]
+
+    depth = {}    # (pid, tid) -> open-span count
+    last_ts = {}  # (pid, tid) -> last timestamp seen
+    counted = 0
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            err(i, "not an object")
+            continue
+        missing = REQUIRED - e.keys()
+        if missing:
+            err(i, f"missing keys {sorted(missing)}")
+            continue
+        ph = e["ph"]
+        if ph == "M":  # process_name / thread_name metadata
+            continue
+        if ph not in ("B", "E", "i"):
+            err(i, f"unexpected phase {ph!r}")
+            continue
+        if "ts" not in e:
+            err(i, "missing 'ts'")
+            continue
+        counted += 1
+        track = (e["pid"], e["tid"])
+        ts = e["ts"]
+        if not isinstance(ts, int) or ts < 0:
+            err(i, f"ts {ts!r} is not a non-negative integer")
+            continue
+        if track in last_ts and ts < last_ts[track]:
+            err(i, f"ts regressed on track pid={track[0]} tid={track[1]}: "
+                   f"{last_ts[track]} -> {ts}")
+        last_ts[track] = ts
+        if ph == "B":
+            depth[track] = depth.get(track, 0) + 1
+        elif ph == "E":
+            if depth.get(track, 0) <= 0:
+                err(i, f"unmatched 'E' on track pid={track[0]} "
+                       f"tid={track[1]}")
+            else:
+                depth[track] -= 1
+        cycle = e.get("args", {}).get("cycle")
+        if cycle is not None and (not isinstance(cycle, int) or cycle < 0):
+            err(i, f"args.cycle {cycle!r} is not a non-negative integer")
+
+    for (pid, tid), d in sorted(depth.items()):
+        if d != 0:
+            errors.append(
+                f"{path}: {d} span(s) left open on track pid={pid} tid={tid}")
+    if not errors:
+        print(f"{path}: OK ({counted} events, {len(last_ts)} tracks)")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        errors.extend(validate(path))
+    for line in errors:
+        print(line, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
