@@ -380,6 +380,35 @@ void Cbb::tick_motion_update() {
   mu_util_.record(1, 1, true);
 }
 
+sim::Cycle Cbb::next_wake(sim::Cycle now) const {
+  if (!mu_arrivals_->empty()) return now;
+  switch (phase_) {
+    case Phase::kIdle:
+      break;
+    case Phase::kForce: {
+      if (inject_cursor_ < particles_.size()) return now;
+      for (int s = 0; s < config_.spes; ++s) {
+        if (!arrivals_[s]->empty() || !dispatch_[s].empty()) return now;
+      }
+      for (const auto& p : pes_) {
+        if (!p->output().empty()) return now;
+      }
+      break;
+    }
+    case Phase::kMotionUpdate:
+      if (mu_cursor_ < mu_limit_) return now;
+      break;
+  }
+  return sim::kNeverCycle;
+}
+
+void Cbb::skip_idle(sim::Cycle from, sim::Cycle to) {
+  // Every phase's idle tick path records mu_util_(0, 1, false) and nothing
+  // else — the kIdle case, a drained force phase, and a finished MU cursor
+  // all hit the same bookkeeping.
+  mu_util_.record(0, to - from, false);
+}
+
 void Cbb::accumulate(std::uint16_t slot, const geom::Vec3f& force,
                      int fc_index) {
   assert(slot < forces_.size());

@@ -67,6 +67,7 @@ Simulation::Simulation(const md::SystemState& state, md::ForceField ff,
   } else {
     scheduler_ = std::make_unique<sim::Scheduler>();
   }
+  scheduler_->set_tick_mode(sim::resolve_tick_mode(config.tick_mode));
 
   model_ = std::make_unique<pe::ForceModel>(ff_, config.cutoff, config.table,
                                             config.terms);
@@ -81,6 +82,13 @@ Simulation::Simulation(const md::SystemState& state, md::ForceField ff,
   if (config.sync_mode == sync::SyncMode::kBulk) {
     barrier_ = std::make_unique<sync::BulkBarrier>(map_.num_nodes(),
                                                    config.bulk_barrier_latency);
+    // Elision poke: the completing arrival schedules the release while the
+    // waiting nodes' shards may already be asleep with no wake of their
+    // own. wake_all_shards is the thread-safe poke (the arrival happens
+    // inside a worker's shard tick).
+    barrier_->set_wake_hook([sched = scheduler_.get()](sim::Cycle at) {
+      sched->wake_all_shards(at);
+    });
   }
 
   fpga::NodeConfig node_config;
@@ -160,6 +168,22 @@ void Simulation::run(int iterations) {
   // this slack means the node has stopped ticking, so a degraded link whose
   // peer is silent gets attributed to the dead *node*, not the wire.
   constexpr sim::Cycle kNodeSilenceSlack = 64;
+  // Elision windows must not sail past the cycle where the watchdog would
+  // fire: a crashed node's heartbeat freezes while every surviving
+  // component sleeps, so the deadline is external to the component oracle.
+  // Live nodes' heartbeats advance through skips, pushing the bound ahead.
+  sim::Scheduler::ExternalWake watchdog_bound;
+  if (config_.watchdog_budget > 0) {
+    watchdog_bound = [this](sim::Cycle) {
+      sim::Cycle bound = sim::kNeverCycle;
+      for (const auto& node : nodes_) {
+        if (node->done()) continue;
+        bound = std::min(bound,
+                         node->last_heartbeat() + config_.watchdog_budget + 1);
+      }
+      return bound;
+    };
+  }
   try {
     scheduler_->run_until(
       [&] {
@@ -195,7 +219,7 @@ void Simulation::run(int iterations) {
         }
         return true;
       },
-        budget);
+        budget, watchdog_bound);
   } catch (const sync::NodeFailureError& e) {
     // Mark the detection on the health track before the failure unwinds, so
     // a supervised trace shows exactly where each attempt died. The stamp is
@@ -231,6 +255,19 @@ void Simulation::publish_metrics() {
 
   m.set(obs::kClusterNode, m.gauge("sim.cycles"), static_cast<double>(now));
   m.set(obs::kClusterNode, m.gauge("sim.us_per_day"), microseconds_per_day());
+
+  // Oracle audit counters, published in validate mode only: the elide and
+  // naive modes must keep the registry bitwise identical to each other, so
+  // neither writes any elision series.
+  if (scheduler_->tick_mode() == sim::TickMode::kValidate) {
+    const sim::ElisionStats& e = scheduler_->elision_stats();
+    m.set_counter(obs::kClusterNode, m.counter("sim.elision.executed_cycles"),
+                  e.executed_cycles);
+    m.set_counter(obs::kClusterNode, m.counter("sim.elision.idle_wakes"),
+                  e.idle_wakes);
+    m.set_counter(obs::kClusterNode, m.counter("sim.elision.mispredicts"),
+                  e.mispredicts);
+  }
 
   const UtilizationReport u = utilization();
   m.set(obs::kClusterNode, m.gauge("util.pr.hardware"), u.pr_hardware);

@@ -105,6 +105,7 @@ core::ClusterConfig cluster_config_for(const EngineSpec& spec,
   c.faults = spec.faults;
   c.reliability = spec.reliability;
   if (spec.watchdog_budget > 0) c.watchdog_budget = spec.watchdog_budget;
+  if (spec.naive_tick) c.tick_mode = sim::TickMode::kNaive;
   c.obs = spec.obs;
   return c;
 }

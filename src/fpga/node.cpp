@@ -1,5 +1,6 @@
 #include "fasda/fpga/node.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace fasda::fpga {
@@ -19,6 +20,37 @@ void Gated::tick(sim::Cycle now) {
   if (factor_ <= 1 || now % static_cast<sim::Cycle>(factor_) == 0) {
     inner_->tick(now);
   }
+}
+
+sim::Cycle Gated::next_wake(sim::Cycle now) const {
+  // While the owner is down the inner component is frozen; the owner's own
+  // next_wake reports the revival boundary, after which a fresh sweep sees
+  // the inner wake again.
+  if (owner_ && !owner_->alive(now)) return sim::kNeverCycle;
+  sim::Cycle w = inner_->next_wake(now);
+  if (w == sim::kNeverCycle || factor_ <= 1) return w;
+  // First gate-open cycle at or after the inner wake: earlier open cycles
+  // would tick an inner that has declared itself inert, and closed cycles
+  // never tick it at all.
+  const auto f = static_cast<sim::Cycle>(factor_);
+  w = std::max(w, now);
+  return (w + f - 1) / f * f;
+}
+
+void Gated::skip_idle(sim::Cycle from, sim::Cycle to) {
+  if (owner_ && !owner_->alive(from)) return;  // frozen: no ticks to replay
+  if (factor_ <= 1) {
+    inner_->skip_idle(from, to);
+    return;
+  }
+  // Only gate-open cycles in [from, to) would have ticked the inner; inner
+  // skip_idle implementations are tick-count based, so forward a window of
+  // exactly that many cycles.
+  const auto f = static_cast<sim::Cycle>(factor_);
+  const sim::Cycle first = (from + f - 1) / f * f;
+  if (first >= to) return;
+  const sim::Cycle ticks = (to - 1 - first) / f + 1;
+  inner_->skip_idle(to - ticks, to);
 }
 
 // ------------------------------------------------------------- EX stations
@@ -205,19 +237,36 @@ FpgaNode::~FpgaNode() = default;
 void FpgaNode::register_with(sim::Scheduler& scheduler) {
   const sim::ShardId shard_id = shard();
   scheduler.add(this, shard_id);
+  // Elision pokes: a fabric delivery must wake this node's shard if the
+  // scheduler put it to sleep (DESIGN.md §13). The scheduler outlives every
+  // delivery — hooks only fire from its own commit fan-out.
+  sim::Scheduler* sched = &scheduler;
+  const auto poke = [sched, shard_id](sim::Cycle at) {
+    sched->wake_shard(shard_id, at);
+  };
+  pos_ep_.set_wake_hook(poke);
+  frc_ep_.set_wake_hook(poke);
+  mig_ep_.set_wake_hook(poke);
   // With node faults injected, every datapath component goes through a
   // liveness gate so a crashed board's rings/PEs freeze with it.
   const FpgaNode* owner = config_.node_faults.empty() ? nullptr : this;
-  auto add_datapath = [&](sim::Component* c) {
+  auto add_datapath = [&](sim::Component* c) -> sim::Component* {
     if (config_.slowdown > 1 || owner) {
       gates_.push_back(std::make_unique<Gated>(c, config_.slowdown, owner));
       scheduler.add(gates_.back().get(), shard_id);
-    } else {
-      scheduler.add(c, shard_id);
+      return gates_.back().get();
     }
+    scheduler.add(c, shard_id);
+    return c;
   };
+  cbb_sched_.clear();
   for (auto& c : cbbs_) {
-    for (sim::Component* comp : c->components()) add_datapath(comp);
+    for (sim::Component* comp : c->components()) {
+      sim::Component* registered = add_datapath(comp);
+      if (comp == static_cast<sim::Component*>(c.get())) {
+        cbb_sched_.push_back(registered);
+      }
+    }
     for (sim::Clocked* cl : c->clocked()) scheduler.add_clocked(cl, shard_id);
   }
   for (auto& r : pos_rings_) add_datapath(r.get());
@@ -314,6 +363,92 @@ void FpgaNode::tick(sim::Cycle now) {
   tick_ingress(now);
   tick_fsm(now);
   tick_egress(now);
+}
+
+sim::Cycle FpgaNode::next_wake(sim::Cycle now) const {
+  sim::Cycle wake = sim::kNeverCycle;
+  const auto fold = [&wake](sim::Cycle w) { wake = std::min(wake, w); };
+
+  // Fault boundaries first: aliveness must be constant across any elision
+  // window, so every instant alive() can flip is a wake of its own.
+  for (const net::NodeFault& f : config_.node_faults) {
+    if (f.node != id_) continue;
+    if (f.at > now) fold(f.at);
+    if (f.kind == net::NodeFaultKind::kStall && f.at + f.duration > now) {
+      fold(f.at + f.duration);
+    }
+  }
+  if (!alive(now)) return wake;  // down: nothing moves until revival
+
+  // Protocol and egress run every alive cycle regardless of phase.
+  if (config_.reliable) {
+    fold(pos_ep_.protocol_wake(now));
+    fold(frc_ep_.protocol_wake(now));
+    fold(mig_ep_.protocol_wake(now));
+  }
+  fold(pos_ep_.egress_wake(now));
+  fold(frc_ep_.egress_wake(now));
+  fold(mig_ep_.egress_wake(now));
+
+  switch (state_) {
+    case State::kDone:
+      break;
+    case State::kIdle:
+      if (armed_) return now;
+      break;
+    case State::kForce: {
+      // Ingress is polled for the position/force channels only (migration
+      // arrivals wait in their endpoint, exactly as a naive tick leaves
+      // them).
+      fold(pos_ep_.ingress_wake(now));
+      fold(frc_ep_.ingress_wake(now));
+      for (const auto& p : pending_pos_) {
+        if (p) return now;
+      }
+      for (const auto& p : pending_frc_) {
+        if (p) return now;
+      }
+      // tick_fsm's guard conjunctions, verbatim, over state committed in
+      // earlier cycles. Any guard that holds means the next tick acts.
+      if (!chain_.last_position_sent() && all_positions_injected()) return now;
+      if (!chain_.last_force_sent() && chain_.last_position_sent() &&
+          chain_.all_positions_received() && force_datapath_quiescent()) {
+        return now;
+      }
+      if (chain_.may_enter_motion_update() && frc_side_drained() &&
+          force_datapath_quiescent()) {
+        return now;
+      }
+      break;
+    }
+    case State::kForceBarrier:
+    case State::kMuBarrier:
+      // While the barrier generation is still filling this node can do
+      // nothing; the last arriver's tick is an executed cycle, so the next
+      // sweep picks up the release instant.
+      if (const auto r = barrier_->release_cycle(barrier_seq_)) {
+        fold(std::max(*r, now));
+      }
+      break;
+    case State::kMotionUpdate: {
+      fold(mig_ep_.ingress_wake(now));
+      if (pending_mig_) return now;
+      bool local_mu_done = mu_ring_->occupancy() == 0 &&
+                           ex_mig_inject_->total_occupancy() == 0;
+      for (const auto& c : cbbs_) local_mu_done = local_mu_done && c->mu_done();
+      if (!chain_.last_mu_sent() && local_mu_done) return now;
+      if (chain_.may_finish_motion_update() && mu_side_drained()) return now;
+      break;
+    }
+  }
+  return wake;
+}
+
+void FpgaNode::skip_idle(sim::Cycle from, sim::Cycle to) {
+  // The only bookkeeping an idle alive tick performs is the heartbeat
+  // stamp; aliveness is constant across the window (next_wake folds every
+  // fault boundary), so the replay collapses to stamping the last cycle.
+  if (to > from && alive(from)) last_heartbeat_ = to - 1;
 }
 
 void FpgaNode::tick_protocol(sim::Cycle now) {
@@ -507,13 +642,26 @@ bool FpgaNode::mu_side_drained() const {
 void FpgaNode::enter_force_phase(sim::Cycle now) {
   chain_.begin_iteration();
   for (auto& c : cbbs_) c->begin_force_phase();
+  wake_cbbs(now);
   force_phase_starts_.push_back(now);
   set_state(State::kForce, now);
 }
 
 void FpgaNode::enter_motion_update(sim::Cycle now) {
   for (auto& c : cbbs_) c->begin_motion_update(dt_fs_, cell_size_, *ff_);
+  wake_cbbs(now);
   set_state(State::kMotionUpdate, now);
+}
+
+void FpgaNode::wake_cbbs(sim::Cycle now) {
+  // A phase transition mutates the CBBs mid-cycle, after the elision sweep
+  // already cached their wakes — and their first tick of the new phase
+  // happens THIS cycle under the naive schedule (the node ticks before its
+  // datapath in registration order). Re-arm the cached wakes so the
+  // selective fan-out ticks them. Safe without synchronization: same shard
+  // means same worker, and the fan-out processes these components strictly
+  // after this tick returns.
+  for (sim::Component* c : cbb_sched_) c->set_sched_wake(now);
 }
 
 void FpgaNode::complete_iteration(sim::Cycle now) {

@@ -110,6 +110,13 @@ class Cbb : public sim::Component, public pe::ForceSink {
   bool mu_done() const;
 
   void tick(sim::Cycle now) override;
+
+  /// Elision oracle: busy while anything is queued for this cell in the
+  /// current phase (migration intake, position injection, dispatcher
+  /// queues, PE outputs, MU cursor); never self-schedules a future event.
+  sim::Cycle next_wake(sim::Cycle now) const override;
+  void skip_idle(sim::Cycle from, sim::Cycle to) override;
+
   void accumulate(std::uint16_t slot, const geom::Vec3f& force,
                   int fc_index) override;
 

@@ -70,6 +70,12 @@ struct ClusterConfig {
   /// stamps are simulated cycles, so output is identical across worker
   /// counts. The hub must outlive the Simulation.
   obs::Hub* obs = nullptr;
+  /// Scheduler ticking strategy (DESIGN.md §13). kElide (the default) skips
+  /// cycles and components the wake-time oracle proves inert — bitwise
+  /// identical to kNaive by contract, just faster. kValidate runs the naive
+  /// tick while auditing the oracle. The FASDA_NAIVE_TICK environment
+  /// variable (set and not "0") forces kNaive regardless of this field.
+  sim::TickMode tick_mode = sim::TickMode::kElide;
 };
 
 /// Fig. 17's per-component breakdown, aggregated over the cluster.
@@ -138,6 +144,13 @@ class Simulation {
   /// Effective scheduler worker count after the auto/clamp policy: 1 means
   /// the serial scheduler is driving the cluster.
   int num_workers() const { return num_workers_; }
+
+  /// Ticking strategy actually in effect (config + FASDA_NAIVE_TICK).
+  sim::TickMode tick_mode() const { return scheduler_->tick_mode(); }
+  /// Elision/validation counters accumulated by the scheduler.
+  const sim::ElisionStats& elision_stats() const {
+    return scheduler_->elision_stats();
+  }
 
   const idmap::ClusterMap& map() const { return map_; }
 

@@ -44,6 +44,10 @@ struct EngineSpec {
   /// Cycle-engine watchdog budget (DESIGN.md §11); 0 = keep the
   /// ClusterConfig default.
   sim::Cycle watchdog_budget = 0;
+  /// Force the cycle engine's naive every-cycle tick instead of idle-cycle
+  /// elision (DESIGN.md §13). Results are bitwise identical either way;
+  /// this exists for differential testing and as an escape hatch.
+  bool naive_tick = false;
   /// Telemetry hub (null = disabled; DESIGN.md §12). The cycle engine
   /// plumbs it through the whole cluster; every back end emits engine-level
   /// step events. Must outlive every engine built from this spec. Replicas

@@ -126,7 +126,16 @@ struct ForceAccum {
   }
 
   static std::int64_t quantize(float v) {
-    return std::llround(static_cast<double>(v) * kScale);
+    // Exactly llround(double(v) * kScale), without the libm call (this is
+    // the hottest scalar op in the force path: three per accumulate).
+    // The product is exact: a float's 24-bit significand scaled by a power
+    // of two fits a double. Below 2^52 the half-away adjustment is exact
+    // too (ulp <= 0.5), so truncation implements round-half-away. At or
+    // above 2^52 the product is already an integer (24-bit significand,
+    // exponent >= 28), where llround is the identity.
+    const double x = static_cast<double>(v) * kScale;
+    if (x >= 0x1p52 || x <= -0x1p52) return static_cast<std::int64_t>(x);
+    return static_cast<std::int64_t>(x + (x >= 0 ? 0.5 : -0.5));
   }
 };
 
@@ -136,13 +145,19 @@ constexpr std::uint64_t kR2One = 1ull << (2 * FixedCoord::kFracBits);
 /// Fixed-to-float conversion of a Q6.56 squared distance (the hardware does
 /// this with a leading-one detector; ldexp is the software equivalent).
 inline float r2_to_float(std::uint64_t r2q) {
-  return std::ldexp(static_cast<float>(r2q), -2 * FixedCoord::kFracBits);
+  // Power-of-two scaling is exact in float (exponent shift, result normal
+  // for the whole Q6.56 range), so the constant multiply is bit-identical
+  // to ldexp without the libm call.
+  constexpr float kInv = 0x1p-56f;  // 2^-(2*kFracBits)
+  static_assert(2 * FixedCoord::kFracBits == 56);
+  return static_cast<float>(r2q) * kInv;
 }
 
 /// Displacement vector (a - b) as float32 components, as produced by the
 /// fixed subtractors feeding the force pipeline.
 inline geom::Vec3f displacement_to_float(const FixedVec3& a, const FixedVec3& b) {
-  const float scale = std::ldexp(1.0f, -FixedCoord::kFracBits);
+  constexpr float scale = 0x1p-28f;  // 2^-kFracBits, exact
+  static_assert(FixedCoord::kFracBits == 28);
   return {static_cast<float>(a.x.sub(b.x)) * scale,
           static_cast<float>(a.y.sub(b.y)) * scale,
           static_cast<float>(a.z.sub(b.z)) * scale};

@@ -56,6 +56,15 @@ class Gated : public sim::Component {
   Gated(sim::Component* inner, int factor, const FpgaNode* owner);
   void tick(sim::Cycle now) override;
 
+  /// While the owner is down the inner component is frozen (the owner's own
+  /// next_wake reports fault boundaries, so elision windows never straddle
+  /// an aliveness change); otherwise the inner wake rounds up to the next
+  /// gate-open cycle.
+  sim::Cycle next_wake(sim::Cycle now) const override;
+  /// Forwards a count-preserving sub-window covering only the gate-open
+  /// ticks (inner skip_idle implementations are tick-count based).
+  void skip_idle(sim::Cycle from, sim::Cycle to) override;
+
  private:
   sim::Component* inner_;
   int factor_;
@@ -124,6 +133,23 @@ class FpgaNode : public sim::Component {
 
   void tick(sim::Cycle now) override;
 
+  /// Elision oracle for the control FSM (DESIGN.md §13). Folds, in order:
+  /// injected fault boundaries (stall start/end, crash instant) so no
+  /// elision window ever straddles an aliveness change; endpoint protocol
+  /// and egress wakes; and the phase-specific sources — ingress arrivals
+  /// for the current phase only (matching tick_ingress gating), pending EX
+  /// slots, the exact tick_fsm guard conjunctions, and the bulk barrier's
+  /// release cycle.
+  sim::Cycle next_wake(sim::Cycle now) const override;
+  /// Replays the only bookkeeping an idle alive tick performs: the
+  /// heartbeat stamp. Aliveness is constant across any skip window because
+  /// next_wake folds every fault boundary.
+  void skip_idle(sim::Cycle from, sim::Cycle to) override;
+  /// The watchdog reads last_heartbeat() from outside this node's shard, so
+  /// the heartbeat must advance cycle-by-cycle even while the whole shard
+  /// sleeps — the scheduler must not defer this component's skip_idle.
+  bool eager_idle() const override { return true; }
+
   // ---- reliability introspection ----
 
   /// First degraded link detected on any channel, with the channel name
@@ -170,6 +196,9 @@ class FpgaNode : public sim::Component {
   bool mu_side_drained() const;
   void enter_force_phase(sim::Cycle now);
   void enter_motion_update(sim::Cycle now);
+  /// Re-arms the cached scheduler wakes of the CBBs after a mid-cycle phase
+  /// transition (see cbb_sched_).
+  void wake_cbbs(sim::Cycle now);
   void complete_iteration(sim::Cycle now);
 
   static const char* phase_name_of(State state);
@@ -232,6 +261,12 @@ class FpgaNode : public sim::Component {
   const md::ForceField* ff_ = nullptr;
 
   std::vector<std::unique_ptr<Gated>> gates_;
+  /// The scheduler-registered handle of each CBB (the Gated wrapper when
+  /// the datapath is gated). Phase transitions re-arm these components'
+  /// cached wakes: the node ticks before its datapath within the shard, so
+  /// a CBB's first tick of a new phase lands in the same cycle as the
+  /// transition — after the sweep already ran (DESIGN.md §13).
+  std::vector<sim::Component*> cbb_sched_;
 
   // Telemetry (null hub = disabled; handles resolved at construction).
   obs::Hub* obs_ = nullptr;

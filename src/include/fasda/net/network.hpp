@@ -364,6 +364,15 @@ class Endpoint {
 
   void deliver(const Packet<R>& p, sim::Cycle arrival) {
     arrivals_.emplace(arrival, p);
+    if (wake_hook_) wake_hook_(arrival);
+  }
+
+  /// Elision poke (DESIGN.md §13): called on every delivery with the
+  /// arrival cycle, so a scheduler that put the owning node's whole shard
+  /// to sleep learns that new input is coming. Fabric commits run on the
+  /// driving thread, which makes the hook race-free by construction.
+  void set_wake_hook(std::function<void(sim::Cycle)> hook) {
+    wake_hook_ = std::move(hook);
   }
 
   /// Serializes one record per cycle out of arrived packets. `last` events
@@ -392,6 +401,54 @@ class Endpoint {
       if (!rx.ooo.empty()) return true;
     }
     return false;
+  }
+
+  // ---- elision wake oracle (DESIGN.md §13) ----
+  // Earliest cycle >= now at which the corresponding tick_* entry point
+  // could change state, judged from committed state. Conservative-early is
+  // safe; late is a correctness bug (the differential harness would catch
+  // it as a bitwise divergence).
+
+  /// tick_protocol: next in-flight arrival, due/overdue retransmit timeout,
+  /// or a pending control emission. kNeverCycle when unarmed (the pump is a
+  /// no-op then).
+  sim::Cycle protocol_wake(sim::Cycle now) const {
+    if (!armed_) return sim::kNeverCycle;
+    sim::Cycle wake = sim::kNeverCycle;
+    if (!arrivals_.empty()) {
+      wake = std::min(wake, std::max(arrivals_.begin()->first, now));
+    }
+    for (const auto& [dst, tx] : tx_) {
+      if (tx.degraded || tx.unacked.empty()) continue;
+      wake = std::min(wake, std::max(tx.deadline, now));
+    }
+    for (const auto& [src, rx] : rx_) {
+      if (rx.ack_due || rx.nack_due) return now;
+    }
+    return wake;
+  }
+
+  /// tick_egress: due control packets, or a queued data/retransmit packet
+  /// once the cooldown expires.
+  sim::Cycle egress_wake(sim::Cycle now) const {
+    if (armed_) {
+      for (const auto& [src, rx] : rx_) {
+        if (rx.ack_due || rx.nack_due) return now;
+      }
+    }
+    if (!retx_q_.empty() || !ready_.empty()) {
+      return std::max(now, next_departure_);
+    }
+    return sim::kNeverCycle;
+  }
+
+  /// poll_record/take_last_events: records mid-unpack, unconsumed last
+  /// events, accepted (armed) or arrived/arriving (unarmed) packets.
+  sim::Cycle ingress_wake(sim::Cycle now) const {
+    if (!unpack_.empty() || !last_events_.empty()) return now;
+    if (armed_) return accept_q_.empty() ? sim::kNeverCycle : now;
+    if (!arrivals_.empty()) return std::max(arrivals_.begin()->first, now);
+    return sim::kNeverCycle;
   }
 
   // ---- reliability introspection ----
@@ -579,6 +636,7 @@ class Endpoint {
   std::multimap<sim::Cycle, Packet<R>> arrivals_;
   std::deque<R> unpack_;
   std::vector<NodeId> last_events_;
+  std::function<void(sim::Cycle)> wake_hook_;
 
   // Reliability state (armed mode only).
   bool armed_ = false;

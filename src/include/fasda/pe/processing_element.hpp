@@ -22,9 +22,9 @@
 // worst-case burst (all loaded filters accepting), and retirement emits at
 // most one token per cycle into the CBB's arbiter FIFO.
 
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <memory>
 #include <vector>
 
 #include "fasda/pe/force_model.hpp"
@@ -102,6 +102,12 @@ class ProcessingElement : public sim::Component {
 
   void tick(sim::Cycle now) override;
 
+  /// Elision oracle: busy whenever a pass is streaming or anything is
+  /// queued; an otherwise-empty PE with pairs in flight sleeps until the
+  /// pipeline head completes (the only self-scheduled future event here).
+  sim::Cycle next_wake(sim::Cycle now) const override;
+  void skip_idle(sim::Cycle from, sim::Cycle to) override;
+
   /// No loaded references, empty pipeline/buffers, nothing retiring.
   bool quiescent() const;
 
@@ -115,6 +121,12 @@ class ProcessingElement : public sim::Component {
   std::uint64_t zero_force_refs() const { return zero_force_refs_; }
 
  private:
+  /// Index into the reference slot pool. References used to be
+  /// heap-allocated shared_ptr<RefState>; the pool plus the parallel
+  /// position/min-stream arrays below keep the filter inner loop walking
+  /// contiguous memory (struct-of-arrays hot state).
+  using RefSlot = std::uint32_t;
+
   struct RefState {
     Reference ref;
     geom::Vec3f acc{};  ///< accumulated force on the reference
@@ -124,16 +136,19 @@ class ProcessingElement : public sim::Component {
   };
 
   struct PipelineEntry {
-    std::shared_ptr<RefState> ref;
+    RefSlot ref;
     std::uint16_t home_slot;
     geom::Vec3f force_on_home;
     sim::Cycle completes_at;
   };
 
   struct PairCandidate {
-    std::shared_ptr<RefState> ref;
+    RefSlot ref;
     std::uint16_t home_slot;
   };
+
+  RefSlot alloc_ref();
+  void release_ref(RefSlot slot);
 
   void drain_pipeline(sim::Cycle now);
   void issue_pair(sim::Cycle now);
@@ -150,8 +165,17 @@ class ProcessingElement : public sim::Component {
   sim::Fifo<Reference> input_;
   sim::Fifo<ring::ForceToken> output_;
 
-  std::vector<std::shared_ptr<RefState>> filters_;  ///< loaded references
-  std::vector<std::shared_ptr<RefState>> retiring_;
+  std::vector<RefState> pool_;        ///< reference slot pool (grows on demand)
+  std::vector<RefSlot> free_slots_;
+
+  std::vector<RefSlot> filters_;      ///< loaded references
+  // Hot mirrors of the loaded filters, walked every streaming cycle:
+  // reference position and the first stream index it pairs with (home
+  // references only pair below their own index).
+  std::vector<fixed::FixedVec3> filter_pos_;
+  std::vector<std::uint32_t> filter_min_stream_;
+
+  std::vector<RefSlot> retiring_;
   std::deque<PairCandidate> pair_buffer_;
   std::deque<PipelineEntry> pipeline_;
   std::size_t stream_index_ = 0;

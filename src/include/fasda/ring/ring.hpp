@@ -60,11 +60,31 @@ class Ring : public sim::Component {
 
   const sim::UtilCounter& util() const { return util_; }
 
+  /// A ring only acts on tokens in flight or waiting to inject; everything
+  /// else (station FIFO fills) executes a cycle and re-sweeps.
+  sim::Cycle next_wake(sim::Cycle now) const override {
+    for (const auto& s : slots_) {
+      if (s) return now;
+    }
+    for (Station<T>* st : stations_) {
+      sim::Fifo<T>* src = st->inject_source();
+      if (src != nullptr && !src->empty()) return now;
+    }
+    return sim::kNeverCycle;
+  }
+
+  /// An idle tick records util_(0, n, false) and nothing else.
+  void skip_idle(sim::Cycle from, sim::Cycle to) override {
+    const std::size_t n = slots_.size();
+    if (n == 0) return;
+    util_.record(0, static_cast<std::uint64_t>(n) * (to - from), false);
+  }
+
   void tick(sim::Cycle) override {
     const std::size_t n = slots_.size();
     if (n == 0) return;
 
-    std::vector<bool> wants_move(n, false);
+    wants_move_.assign(n, false);
     std::size_t occupied = 0;
 
     // Phase 1: station interaction. A token that delivered a copy but could
@@ -75,17 +95,17 @@ class Ring : public sim::Component {
       ++occupied;
       Slot& slot = *slots_[i];
       if (slot.delivered_here) {
-        wants_move[i] = true;
+        wants_move_[i] = true;
         continue;
       }
       switch (stations_[i]->classify(slot.token)) {
         case Station<T>::Action::kPass:
-          wants_move[i] = true;
+          wants_move_[i] = true;
           break;
         case Station<T>::Action::kDeliver:
           if (stations_[i]->try_deliver(slot.token)) {
             slot.delivered_here = true;
-            wants_move[i] = true;
+            wants_move_[i] = true;
           }
           break;
         case Station<T>::Action::kDeliverAndDrop:
@@ -104,31 +124,31 @@ class Ring : public sim::Component {
     // Phase 2: movement. can_move relaxation handles the circular
     // dependency; a full ring of movers rotates, a stalled token blocks
     // everything behind it.
-    std::vector<bool> can_move = wants_move;
+    can_move_ = wants_move_;
     for (std::size_t pass = 0; pass < n; ++pass) {
       bool changed = false;
       for (std::size_t i = 0; i < n; ++i) {
-        if (!can_move[i]) continue;
+        if (!can_move_[i]) continue;
         const std::size_t next = (i + 1) % n;
-        const bool next_free = !slots_[next] || can_move[next];
+        const bool next_free = !slots_[next] || can_move_[next];
         if (!next_free) {
-          can_move[i] = false;
+          can_move_[i] = false;
           changed = true;
         }
       }
       if (!changed) break;
     }
-    std::vector<std::optional<Slot>> next_slots(n);
+    scratch_slots_.assign(n, std::nullopt);
     for (std::size_t i = 0; i < n; ++i) {
       if (!slots_[i]) continue;
-      if (can_move[i]) {
+      if (can_move_[i]) {
         slots_[i]->delivered_here = false;  // arriving at a new station
-        next_slots[(i + 1) % n] = std::move(slots_[i]);
+        scratch_slots_[(i + 1) % n] = std::move(slots_[i]);
       } else {
-        next_slots[i] = std::move(slots_[i]);
+        scratch_slots_[i] = std::move(slots_[i]);
       }
     }
-    slots_ = std::move(next_slots);
+    slots_.swap(scratch_slots_);
 
     // Phase 3: injection into empty slots.
     for (std::size_t i = 0; i < n; ++i) {
@@ -146,6 +166,11 @@ class Ring : public sim::Component {
 
   std::vector<Station<T>*> stations_;
   std::vector<std::optional<Slot>> slots_;
+  // Per-tick scratch kept as members: the movement phase used to allocate
+  // three vectors every cycle, which dominated idle-ring tick cost.
+  std::vector<bool> wants_move_;
+  std::vector<bool> can_move_;
+  std::vector<std::optional<Slot>> scratch_slots_;
   sim::UtilCounter util_;
 };
 

@@ -8,9 +8,13 @@
 // the order components are ticked in — the same property RTL gets from
 // edge-triggered registers.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -20,6 +24,11 @@
 namespace fasda::sim {
 
 using Cycle = std::uint64_t;
+
+/// "No self-scheduled event": a component returning this from next_wake can
+/// only be re-activated by another component's activity (which executes a
+/// cycle and triggers a fresh wake sweep).
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
 
 /// Anything with two-phase (staged) state.
 class Clocked {
@@ -34,10 +43,51 @@ class Component {
   explicit Component(std::string name) : name_(std::move(name)) {}
   virtual ~Component() = default;
   virtual void tick(Cycle now) = 0;
+
+  /// Wake-time contract (DESIGN.md §13). Earliest cycle >= `now` at which
+  /// tick() could change ANY observable state, judged from state committed
+  /// through cycle now-1 — exactly what tick(now) would read. Must never
+  /// over-predict: returning W means every tick in [now, W) is a no-op
+  /// apart from the bookkeeping skip_idle replays. The scheduler re-sweeps
+  /// after every executed cycle, so a component only needs to report its
+  /// OWN pending work (`now`) or self-scheduled future events (timer
+  /// expiry, in-flight packet arrival, barrier release, fault boundary);
+  /// activation by another component's output is caught by the re-sweep.
+  /// The default — always busy — opts a component out of elision safely.
+  virtual Cycle next_wake(Cycle now) const {
+    (void)now;
+    return now;
+  }
+
+  /// Replays the bookkeeping `to - from` naive ticks would have accrued
+  /// over a window the oracle declared inert (utilization capacity,
+  /// heartbeat stamps). Implementations may rely only on the tick count and
+  /// the window end: a straggler gate forwards a count-preserving
+  /// sub-window for its open cycles.
+  virtual void skip_idle(Cycle from, Cycle to) {
+    (void)from;
+    (void)to;
+  }
+
+  /// Eager idle bookkeeping (DESIGN.md §13). A component returning true
+  /// gets its skip_idle replayed at every executed cycle and every window
+  /// jump even while its whole shard sleeps, instead of being batched into
+  /// one deferred window at shard wake-up. Opt in when the bookkeeping is
+  /// read by outside observers mid-sleep — the node heartbeat feeding the
+  /// watchdog is the one case.
+  virtual bool eager_idle() const { return false; }
+
   const std::string& name() const { return name_; }
+
+  /// Scheduler-managed cache of the last wake sweep; written on the driving
+  /// thread between cycles, read during the tick fan-out. Not part of the
+  /// component contract.
+  Cycle sched_wake() const { return sched_wake_; }
+  void set_sched_wake(Cycle w) { sched_wake_ = w; }
 
  private:
   std::string name_;
+  Cycle sched_wake_ = 0;
 };
 
 /// Two-phase FIFO: push() stages (visible next cycle); pop()/front() operate
@@ -167,6 +217,52 @@ struct UtilCounter {
 using ShardId = int;
 inline constexpr ShardId kGlobalShard = -1;
 
+/// How Scheduler::run_until drives the cluster.
+///   kElide    — idle-cycle elision: skip globally-dead windows outright and
+///               skip the tick of individually-idle components inside
+///               executed cycles. Bitwise identical to kNaive by the
+///               next_wake contract (DESIGN.md §13).
+///   kNaive    — tick every component every cycle (the pre-elision loop and
+///               the FASDA_NAIVE_TICK escape hatch).
+///   kValidate — tick naively but audit the elision oracle each cycle:
+///               counts cycles the oracle would have skipped (idle wakes)
+///               and oracle violations (mispredicts, must stay zero).
+enum class TickMode { kElide, kNaive, kValidate };
+
+/// FASDA_NAIVE_TICK (set and not "0") overrides any configured mode with
+/// kNaive — the environment escape hatch for bisecting elision bugs.
+inline TickMode resolve_tick_mode(TickMode configured) {
+  const char* env = std::getenv("FASDA_NAIVE_TICK");
+  if (env != nullptr && env[0] != '\0' &&
+      !(env[0] == '0' && env[1] == '\0')) {
+    return TickMode::kNaive;
+  }
+  return configured;
+}
+
+/// Elision bookkeeping. Deliberately NOT published through the obs registry
+/// on elided runs: metrics snapshots must stay bitwise identical between
+/// naive and elided runs, so execution-shape counters live here and only
+/// kValidate runs surface them as metrics (core::Simulation::publish).
+struct ElisionStats {
+  /// Cycles actually executed (tick fan-out ran).
+  std::uint64_t executed_cycles = 0;
+  /// Cycles skipped outright because every component slept past them.
+  std::uint64_t elided_cycles = 0;
+  /// Component-ticks skipped inside executed cycles (component slept while
+  /// others ran).
+  std::uint64_t component_idle_skips = 0;
+  /// Shard-cycles spent asleep inside executed cycles: the whole shard's
+  /// tick fan-out, wake sweep and commits were skipped (kElide only).
+  std::uint64_t shard_sleep_cycles = 0;
+  /// kValidate: executed cycles the oracle declared globally dead — naive
+  /// ticks that "woke with no state change".
+  std::uint64_t idle_wakes = 0;
+  /// kValidate: sweeps inside a predicted-quiet window that reported an
+  /// earlier wake — "state changed while skipped". Must be zero.
+  std::uint64_t mispredicts = 0;
+};
+
 /// Serial cycle driver, and the interface parallel drivers implement.
 /// Ticks every component in registration order, then commits every clocked
 /// element. The two-phase contract makes results independent of tick order,
@@ -205,21 +301,70 @@ class Scheduler {
     ++cycle_;
   }
 
+  void set_tick_mode(TickMode mode) { mode_ = mode; }
+  TickMode tick_mode() const { return mode_; }
+  const ElisionStats& elision_stats() const { return stats_; }
+
+  /// Cross-shard wake pokes (DESIGN.md §13). A sleeping shard is not
+  /// re-swept after every executed cycle, so the two mechanisms that can
+  /// activate a shard from outside must poke it explicitly:
+  ///
+  ///   wake_shard      — a fabric delivery to one node's endpoint. Fabric
+  ///                     commits run single-threaded on the driving thread,
+  ///                     so a plain min on the group wake is race-free.
+  ///   wake_all_shards — a bulk-barrier release, computed under the barrier
+  ///                     mutex on whichever worker ticked the last arriving
+  ///                     node. Folds through an atomic that the elided loop
+  ///                     drains before each sweep.
+  ///
+  /// Pokes may only shorten a sleep (spurious wakes are safe; the woken
+  /// shard just re-sweeps and goes back down). Unknown shard ids and calls
+  /// outside kElide are harmless no-ops.
+  void wake_shard(ShardId shard, Cycle at) {
+    if (shard < 0 || static_cast<std::size_t>(shard) >= groups_.size()) return;
+    ShardGroup& g = groups_[static_cast<std::size_t>(shard)];
+    if (at < g.wake) g.wake = at;
+  }
+  void wake_all_shards(Cycle at) {
+    Cycle cur = poke_all_.load(std::memory_order_relaxed);
+    while (at < cur && !poke_all_.compare_exchange_weak(
+                           cur, at, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// External wake bound for run_until: earliest cycle at which the done()
+  /// predicate could change outcome for reasons no component reports itself
+  /// (in practice the watchdog trip deadline, which depends on heartbeat
+  /// silence rather than on any component's own pending work).
+  using ExternalWake = std::function<Cycle(Cycle)>;
+
   /// Runs until done() is true (checked between cycles) or the budget is
   /// exhausted; returns the cycle count at exit. Throws on budget overrun so
   /// deadlocks in the model fail loudly. When done() throws (watchdog, link
   /// degradation) the scheduler span stays open and is closed at the trace
   /// high-water mark by the next epoch or the export.
-  Cycle run_until(const std::function<bool()>& done, Cycle max_cycles) {
+  ///
+  /// Elision safety: done() is evaluated only between executed cycles and at
+  /// skip-window boundaries. That is equivalent to the naive every-cycle
+  /// check because done() reads only state that changes on executed cycles —
+  /// except the watchdog silence clock, whose trip cycles the caller folds
+  /// in through `external_wake` so windows never straddle a trip.
+  Cycle run_until(const std::function<bool()>& done, Cycle max_cycles,
+                  const ExternalWake& external_wake = {}) {
     if (obs_ != nullptr) {
       obs_->trace().begin(obs::kClusterShard, obs::kClusterPid,
                           obs::Comp::kScheduler, "run-until", cycle_);
     }
-    while (!done()) {
-      if (cycle_ >= max_cycles) {
-        throw std::runtime_error("Scheduler::run_until exceeded cycle budget");
-      }
-      run_cycle();
+    switch (mode_) {
+      case TickMode::kNaive:
+        run_until_naive(done, max_cycles);
+        break;
+      case TickMode::kElide:
+        run_until_elided(done, max_cycles, external_wake);
+        break;
+      case TickMode::kValidate:
+        run_until_validate(done, max_cycles, external_wake);
+        break;
     }
     if (obs_ != nullptr) {
       obs_->trace().end(obs::kClusterShard, obs::kClusterPid,
@@ -232,13 +377,264 @@ class Scheduler {
   }
 
  protected:
-  virtual void add_impl(Component* c, ShardId) { components_.push_back(c); }
-  virtual void add_clocked_impl(Clocked* c, ShardId) { clocked_.push_back(c); }
+  /// One shard's slice of the registration, plus its sleep state. `wake` is
+  /// the cached minimum of the members' swept wakes (folded with any poke);
+  /// the group is awake when wake <= now. While a group sleeps its members
+  /// are neither ticked, swept nor committed — their idle bookkeeping is
+  /// deferred into one [skip_from, wake-cycle) window flushed when the
+  /// group wakes, except the eager_idle() prefix, which is replayed every
+  /// executed cycle and window jump (the watchdog reads node heartbeats
+  /// from outside the shard mid-sleep).
+  struct ShardGroup {
+    std::vector<Component*> components;  // eager_idle() members first
+    std::size_t eager = 0;               // length of the eager prefix
+    std::vector<Clocked*> clocked;
+    Cycle wake = 0;                      // cached group wake (<= now: awake)
+    Cycle skip_from = kNeverCycle;       // deferred idle window start
+    std::size_t idle = 0;                // sleepers at the last sweep (stats)
+  };
 
+  virtual void add_impl(Component* c, ShardId shard) {
+    components_.push_back(c);
+    if (shard == kGlobalShard) {
+      global_components_.push_back(c);
+      return;
+    }
+    ShardGroup& g = group_at(shard);
+    if (c->eager_idle()) {
+      g.components.insert(
+          g.components.begin() + static_cast<std::ptrdiff_t>(g.eager), c);
+      ++g.eager;
+    } else {
+      g.components.push_back(c);
+    }
+  }
+  virtual void add_clocked_impl(Clocked* c, ShardId shard) {
+    clocked_.push_back(c);
+    if (shard == kGlobalShard) {
+      global_clocked_.push_back(c);
+    } else {
+      group_at(shard).clocked.push_back(c);
+    }
+  }
+
+  ShardGroup& group_at(ShardId shard) {
+    if (shard < 0) throw std::invalid_argument("Scheduler: bad shard id");
+    if (static_cast<std::size_t>(shard) >= groups_.size()) {
+      groups_.resize(static_cast<std::size_t>(shard) + 1);
+    }
+    return groups_[static_cast<std::size_t>(shard)];
+  }
+
+  /// One cycle of the elided fast path. Awake groups run the selective
+  /// fan-out (tick components whose swept wake is due, replay single-cycle
+  /// idle bookkeeping for the rest) and commit their clocked elements;
+  /// sleeping groups replay only the eager prefix — no member can have
+  /// writes staged, because the sweep that put the group to sleep ran after
+  /// its last awake cycle's commits, so skipping the commits is exact.
+  /// run_cycle() is left untouched for direct (test) callers.
+  virtual void run_cycle_elided() {
+    const Cycle now = cycle_;
+    for (Component* c : global_components_) {
+      if (c->sched_wake() <= now) {
+        c->tick(now);
+      } else {
+        c->skip_idle(now, now + 1);
+      }
+    }
+    for (ShardGroup& g : groups_) {
+      if (g.wake > now) {
+        for (std::size_t i = 0; i < g.eager; ++i) {
+          g.components[i]->skip_idle(now, now + 1);
+        }
+        continue;
+      }
+      for (Component* c : g.components) {
+        if (c->sched_wake() <= now) {
+          c->tick(now);
+        } else {
+          c->skip_idle(now, now + 1);
+        }
+      }
+    }
+    for (ShardGroup& g : groups_) {
+      if (g.wake > now) continue;
+      for (Clocked* c : g.clocked) c->commit();
+    }
+    for (Clocked* c : global_clocked_) c->commit();
+    ++cycle_;
+  }
+
+  [[noreturn]] static void throw_budget_overrun() {
+    throw std::runtime_error("Scheduler::run_until exceeded cycle budget");
+  }
+
+  void run_until_naive(const std::function<bool()>& done, Cycle max_cycles) {
+    while (!done()) {
+      if (cycle_ >= max_cycles) throw_budget_overrun();
+      run_cycle();
+      ++stats_.executed_cycles;
+    }
+  }
+
+  /// Flat full sweep: every component's next_wake from post-commit state
+  /// (what the next tick would read), cached on the component; returns the
+  /// global minimum and counts components that sleep past `now`. The
+  /// kValidate audit uses this — the elided path sweeps per group so
+  /// sleeping shards cost nothing.
+  Cycle sweep_wakes() {
+    const Cycle now = cycle_;
+    Cycle min_wake = kNeverCycle;
+    for (Component* c : components_) {
+      const Cycle w = c->next_wake(now);
+      c->set_sched_wake(w);
+      if (w < min_wake) min_wake = w;
+      if (w > now) ++stats_.component_idle_skips;
+    }
+    return min_wake;
+  }
+
+  /// Re-sweeps one awake group from post-commit state, caching per-member
+  /// wakes for the selective fan-out and the group minimum for the sleep
+  /// decision.
+  void sweep_group(ShardGroup& g, Cycle now) {
+    Cycle min_wake = kNeverCycle;
+    std::size_t idle = 0;
+    for (Component* c : g.components) {
+      const Cycle w = c->next_wake(now);
+      c->set_sched_wake(w);
+      if (w < min_wake) min_wake = w;
+      if (w > now) ++idle;
+    }
+    g.wake = min_wake;
+    g.idle = idle;
+  }
+
+  /// Flushes a waking group's deferred idle window: one count-preserving
+  /// skip_idle over every cycle the group slept through, for the non-eager
+  /// members (the eager prefix was replayed cycle-by-cycle all along).
+  void flush_group_idle(ShardGroup& g, Cycle now) {
+    if (g.skip_from == kNeverCycle) return;
+    if (g.skip_from < now) {
+      for (std::size_t i = g.eager; i < g.components.size(); ++i) {
+        g.components[i]->skip_idle(g.skip_from, now);
+      }
+    }
+    g.skip_from = kNeverCycle;
+  }
+
+  /// Settles every open deferred window at run_until exit (normal or
+  /// unwinding), so utilization counters observed after the run match the
+  /// naive schedule exactly.
+  void flush_deferred_idle() {
+    for (ShardGroup& g : groups_) flush_group_idle(g, cycle_);
+  }
+
+  void run_until_elided(const std::function<bool()>& done, Cycle max_cycles,
+                        const ExternalWake& external_wake) {
+    // Arbitrary state may have changed between run_until calls (loaders,
+    // node arming) — mark every group awake so the first sweep is total.
+    for (ShardGroup& g : groups_) {
+      g.wake = cycle_;
+      g.skip_from = kNeverCycle;
+      g.idle = 0;
+    }
+    poke_all_.store(kNeverCycle, std::memory_order_relaxed);
+    try {
+      while (!done()) {
+        if (cycle_ >= max_cycles) throw_budget_overrun();
+        const Cycle now = cycle_;
+        // Fold worker-thread pokes (barrier releases) into every group.
+        const Cycle poke =
+            poke_all_.exchange(kNeverCycle, std::memory_order_relaxed);
+        if (poke != kNeverCycle) {
+          for (ShardGroup& g : groups_) g.wake = std::min(g.wake, poke);
+        }
+        Cycle wake = kNeverCycle;
+        for (Component* c : global_components_) {
+          const Cycle w = c->next_wake(now);
+          c->set_sched_wake(w);
+          wake = std::min(wake, w);
+        }
+        for (ShardGroup& g : groups_) {
+          if (g.wake <= now) {
+            flush_group_idle(g, now);
+            sweep_group(g, now);
+            if (g.wake > now) g.skip_from = now;  // falls asleep: open window
+          }
+          wake = std::min(wake, g.wake);
+        }
+        if (external_wake) wake = std::min(wake, external_wake(now));
+        if (wake > now) {
+          // Globally dead window [now, wake): no ticks can change state, so
+          // jump. Clamping to the budget keeps the overrun throw at the
+          // same cycle the naive loop would reach it. Sleeping groups'
+          // deferred windows absorb the jump; only globals and the eager
+          // prefixes replay it directly.
+          const Cycle to = std::min(wake, max_cycles);
+          for (Component* c : global_components_) c->skip_idle(now, to);
+          for (ShardGroup& g : groups_) {
+            for (std::size_t i = 0; i < g.eager; ++i) {
+              g.components[i]->skip_idle(now, to);
+            }
+          }
+          stats_.elided_cycles += to - now;
+          cycle_ = to;
+          continue;
+        }
+        for (const ShardGroup& g : groups_) {
+          if (g.wake > now) {
+            stats_.component_idle_skips += g.components.size();
+            ++stats_.shard_sleep_cycles;
+          } else {
+            stats_.component_idle_skips += g.idle;
+          }
+        }
+        run_cycle_elided();
+        ++stats_.executed_cycles;
+      }
+    } catch (...) {
+      flush_deferred_idle();
+      throw;
+    }
+    flush_deferred_idle();
+  }
+
+  void run_until_validate(const std::function<bool()>& done, Cycle max_cycles,
+                          const ExternalWake& external_wake) {
+    // Audits the component oracle alone: external_wake only ever shortens
+    // skip windows, so it cannot mask a mispredict and stays out of the
+    // predicted-quiet horizon.
+    (void)external_wake;
+    Cycle quiet_until = cycle_;
+    while (!done()) {
+      if (cycle_ >= max_cycles) throw_budget_overrun();
+      const Cycle wake = sweep_wakes();
+      if (cycle_ < quiet_until && wake <= cycle_) ++stats_.mispredicts;
+      if (wake > cycle_) {
+        ++stats_.idle_wakes;
+        if (wake > quiet_until) quiet_until = wake;
+      }
+      run_cycle();
+      ++stats_.executed_cycles;
+    }
+  }
+
+  // Flat registration order — the naive and validate paths drive these, and
+  // sweep_wakes audits over them.
   std::vector<Component*> components_;
   std::vector<Clocked*> clocked_;
+  // Sharded view — the elided paths (serial and parallel) drive these.
+  std::vector<ShardGroup> groups_;  // indexed by ShardId
+  std::vector<Component*> global_components_;
+  std::vector<Clocked*> global_clocked_;
+  /// Pending wake_all_shards poke (kNeverCycle = none); written by workers,
+  /// drained by the driving thread before each sweep.
+  std::atomic<Cycle> poke_all_{kNeverCycle};
   Cycle cycle_ = 0;
   obs::Hub* obs_ = nullptr;
+  TickMode mode_ = TickMode::kNaive;
+  ElisionStats stats_;
 };
 
 }  // namespace fasda::sim

@@ -43,24 +43,18 @@ class ParallelScheduler : public Scheduler {
 
   void run_cycle() override;
 
-  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_shards() const { return groups_.size(); }
   std::size_t num_threads() const { return pool_.size(); }
 
  protected:
-  void add_impl(Component* c, ShardId shard) override;
-  void add_clocked_impl(Clocked* c, ShardId shard) override;
+  /// Elided fan-out: identical shape to run_cycle(), but each worker ticks
+  /// only awake shards' due components (group wakes and per-component
+  /// caches are written by the caller between cycles — the pool barrier
+  /// orders those writes before these reads), replaying single-cycle idle
+  /// bookkeeping for the rest, and commits only awake shards.
+  void run_cycle_elided() override;
 
  private:
-  struct Shard {
-    std::vector<Component*> components;
-    std::vector<Clocked*> clocked;
-  };
-
-  Shard& shard_at(ShardId shard);
-
-  std::vector<Shard> shards_;            // indexed by ShardId
-  std::vector<Component*> global_components_;
-  std::vector<Clocked*> global_clocked_;
   util::ThreadPool pool_;
 };
 

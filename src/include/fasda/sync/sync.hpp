@@ -15,8 +15,10 @@
 // cycles after the slowest arrival. Used by the synchronization ablation.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -151,7 +153,20 @@ class BulkBarrier {
     if (g.arrived >= num_nodes_) {
       throw std::logic_error("BulkBarrier: more arrivals than nodes");
     }
-    if (++g.arrived == num_nodes_) g.release_at = now + release_latency_;
+    if (++g.arrived == num_nodes_) {
+      g.release_at = now + release_latency_;
+      // Elision poke: nodes already waiting on this generation reported no
+      // wake of their own (release_cycle was nullopt when they were swept),
+      // so a scheduler with their shards asleep must hear the release got
+      // scheduled. The hook must be thread-safe — the completing arrival
+      // happens inside a concurrent shard tick.
+      if (wake_hook_) wake_hook_(g.release_at);
+    }
+  }
+
+  /// See arrive(). Wired once at cluster construction, before any ticks.
+  void set_wake_hook(std::function<void(sim::Cycle)> hook) {
+    wake_hook_ = std::move(hook);
   }
 
   bool released(std::uint64_t seq, sim::Cycle now) const {
@@ -159,6 +174,19 @@ class BulkBarrier {
     const auto it = generations_.find(seq);
     return it != generations_.end() && it->second.arrived == num_nodes_ &&
            now >= it->second.release_at;
+  }
+
+  /// Elision wake oracle: the cycle released(seq, ·) turns true, or nullopt
+  /// while the generation is still filling (a waiting node then sleeps
+  /// until another node's arrival executes a cycle and triggers a fresh
+  /// wake sweep). Called single-threaded between cycles.
+  std::optional<sim::Cycle> release_cycle(std::uint64_t seq) const {
+    std::lock_guard lock(mutex_);
+    const auto it = generations_.find(seq);
+    if (it == generations_.end() || it->second.arrived != num_nodes_) {
+      return std::nullopt;
+    }
+    return it->second.release_at;
   }
 
  private:
@@ -171,6 +199,7 @@ class BulkBarrier {
   sim::Cycle release_latency_;
   mutable std::mutex mutex_;
   std::map<std::uint64_t, Generation> generations_;
+  std::function<void(sim::Cycle)> wake_hook_;
 };
 
 }  // namespace fasda::sync

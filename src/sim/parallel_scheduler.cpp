@@ -1,34 +1,8 @@
 #include "fasda/sim/parallel_scheduler.hpp"
 
-#include <stdexcept>
-
 namespace fasda::sim {
 
 ParallelScheduler::ParallelScheduler(std::size_t threads) : pool_(threads) {}
-
-ParallelScheduler::Shard& ParallelScheduler::shard_at(ShardId shard) {
-  if (shard < 0) throw std::invalid_argument("ParallelScheduler: bad shard id");
-  if (static_cast<std::size_t>(shard) >= shards_.size()) {
-    shards_.resize(static_cast<std::size_t>(shard) + 1);
-  }
-  return shards_[static_cast<std::size_t>(shard)];
-}
-
-void ParallelScheduler::add_impl(Component* c, ShardId shard) {
-  if (shard == kGlobalShard) {
-    global_components_.push_back(c);
-  } else {
-    shard_at(shard).components.push_back(c);
-  }
-}
-
-void ParallelScheduler::add_clocked_impl(Clocked* c, ShardId shard) {
-  if (shard == kGlobalShard) {
-    global_clocked_.push_back(c);
-  } else {
-    shard_at(shard).clocked.push_back(c);
-  }
-}
 
 void ParallelScheduler::run_cycle() {
   const Cycle now = cycle_;
@@ -36,20 +10,57 @@ void ParallelScheduler::run_cycle() {
   // serially before the fan-out is just another valid order.
   for (Component* c : global_components_) c->tick(now);
   pool_.parallel_phases(
-      shards_.size(),
+      groups_.size(),
       [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t s = begin; s < end; ++s) {
-          for (Component* c : shards_[s].components) c->tick(now);
+          for (Component* c : groups_[s].components) c->tick(now);
         }
       },
       [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t s = begin; s < end; ++s) {
-          for (Clocked* c : shards_[s].clocked) c->commit();
+          for (Clocked* c : groups_[s].clocked) c->commit();
         }
       });
   // Global clocked elements commit on the caller: the join above makes
   // every shard's staged writes visible here, and the serial sweep applies
   // them in a fixed (source-id) order.
+  for (Clocked* c : global_clocked_) c->commit();
+  ++cycle_;
+}
+
+void ParallelScheduler::run_cycle_elided() {
+  const Cycle now = cycle_;
+  const auto tick_or_skip = [now](Component* c) {
+    if (c->sched_wake() <= now) {
+      c->tick(now);
+    } else {
+      c->skip_idle(now, now + 1);
+    }
+  };
+  for (Component* c : global_components_) tick_or_skip(c);
+  pool_.parallel_phases(
+      groups_.size(),
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          ShardGroup& g = groups_[s];
+          if (g.wake > now) {
+            // Sleeping shard: only the eager prefix replays bookkeeping
+            // (its own node's heartbeat — same worker owns the shard).
+            for (std::size_t i = 0; i < g.eager; ++i) {
+              g.components[i]->skip_idle(now, now + 1);
+            }
+            continue;
+          }
+          for (Component* c : g.components) tick_or_skip(c);
+        }
+      },
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          ShardGroup& g = groups_[s];
+          if (g.wake > now) continue;  // nothing staged while asleep
+          for (Clocked* c : g.clocked) c->commit();
+        }
+      });
   for (Clocked* c : global_clocked_) c->commit();
   ++cycle_;
 }

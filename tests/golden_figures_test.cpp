@@ -23,8 +23,10 @@
 namespace fasda {
 namespace {
 
-double strong_rate(int pes_per_spe, int spes) {
-  const auto config = bench::strong_config(pes_per_spe, spes);
+double strong_rate(int pes_per_spe, int spes,
+                   sim::TickMode mode = sim::TickMode::kElide) {
+  auto config = bench::strong_config(pes_per_spe, spes);
+  config.tick_mode = mode;
   const auto state = bench::standard_dataset({4, 4, 4});
   core::Simulation sim(state, md::ForceField::sodium(), config);
   sim.run(2);
@@ -125,6 +127,43 @@ TEST(GoldenFigures, WatchdogNeverFiresOnTheLargestGoldenGeometry) {
   straggler.stragglers = {{3, 8}};
   core::Simulation slow(state, md::ForceField::sodium(), straggler);
   EXPECT_NO_THROW(slow.run(2));
+}
+
+TEST(GoldenFigures, FiguresIdenticalWithElisionForcedOnAndOff) {
+  // The golden bands above run under the default tick mode (elision on).
+  // This guard pins the other leg: forcing the naive every-cycle loop and
+  // the elided loop must produce EXACTLY the same published numbers — the
+  // simulated rates are cycle-count arithmetic, so they are equal as
+  // doubles, not merely within tolerance. If these ever split, elision is
+  // changing figures and every band above is suspect.
+  EXPECT_EQ(strong_rate(1, 1, sim::TickMode::kNaive),
+            strong_rate(1, 1, sim::TickMode::kElide))
+      << "4x4x4-A rate depends on the tick mode";
+  EXPECT_EQ(strong_rate(3, 2, sim::TickMode::kNaive),
+            strong_rate(3, 2, sim::TickMode::kElide))
+      << "4x4x4-C rate depends on the tick mode";
+
+  // Fig. 18 traffic, cycle totals and pair counts under both modes.
+  const auto state = bench::standard_dataset({4, 4, 4}, 16);
+  auto config = bench::strong_config(3, 2);
+  config.tick_mode = sim::TickMode::kNaive;
+  core::Simulation naive(state, md::ForceField::sodium(), config);
+  naive.run(2);
+  config.tick_mode = sim::TickMode::kElide;
+  core::Simulation elided(state, md::ForceField::sodium(), config);
+  elided.run(2);
+
+  EXPECT_EQ(elided.total_cycles(), naive.total_cycles());
+  EXPECT_EQ(elided.pairs_issued(), naive.pairs_issued());
+  EXPECT_EQ(elided.microseconds_per_day(), naive.microseconds_per_day());
+  const auto n = naive.traffic();
+  const auto e = elided.traffic();
+  EXPECT_EQ(e.positions.packets, n.positions.packets);
+  EXPECT_EQ(e.forces.packets, n.forces.packets);
+  EXPECT_EQ(e.migrations.packets, n.migrations.packets);
+  EXPECT_EQ(e.positions.total_packets, n.positions.total_packets);
+  EXPECT_EQ(e.forces.total_packets, n.forces.total_packets);
+  EXPECT_EQ(e.migrations.total_packets, n.migrations.total_packets);
 }
 
 TEST(GoldenFigures, FasdaBestVsBestGpuNearPaperRatio) {

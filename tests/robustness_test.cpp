@@ -208,6 +208,93 @@ TEST_P(FaultFuzz, RandomFaultPlansLeavePhysicsUntouched) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Values(1u, 7u, 42u));
 
+// ------------------------------------------------- elision-oracle fuzzing
+
+/// Property behind idle-cycle elision (DESIGN.md §13): the wake oracle may
+/// over-predict (wake a component that then does nothing — wasted work,
+/// counted as idle_wakes) but must NEVER under-predict (state changing
+/// inside a window the oracle declared quiet — counted as mispredicts).
+/// kValidate runs the naive loop and audits the oracle on every cycle, so
+/// randomized geometries, link latencies and fault seeds search for a
+/// contract violation without any risk of masking one.
+class ElisionFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ElisionFuzz, OracleNeverUnderPredicts) {
+  util::Xoshiro256 rng(GetParam());
+
+  core::ClusterConfig config;
+  const geom::IVec3 node_shapes[] = {{1, 1, 2}, {1, 2, 2}, {2, 2, 2}};
+  config.node_dims = node_shapes[rng.below(3)];
+  // The global grid needs >= 3 cells per dimension; widen singleton axes.
+  config.cells_per_node = {config.node_dims.x == 1 ? 3 : 2,
+                           config.node_dims.y == 1 ? 3 : 2,
+                           config.node_dims.z == 1 ? 3 : 2};
+  config.channel.link_latency = 1 + static_cast<int>(rng.below(400));
+  config.num_worker_threads = 1 + static_cast<int>(rng.below(4));
+  config.tick_mode = sim::TickMode::kValidate;
+  if (rng.below(2) == 0) {
+    net::FaultPlan plan;
+    plan.seed = rng();
+    plan.all.drop = 0.10 * rng.uniform();
+    plan.all.dup = 0.05 * rng.uniform();
+    plan.all.reorder = 0.05 * rng.uniform();
+    plan.all.corrupt = 0.05 * rng.uniform();
+    config.faults = plan;
+  }
+
+  md::DatasetParams p;
+  p.particles_per_cell = 4 + static_cast<int>(rng.below(5));
+  p.seed = GetParam();
+  p.temperature = 250.0;
+  const auto ff = md::ForceField::sodium();
+  const geom::IVec3 dims = {config.node_dims.x * config.cells_per_node.x,
+                            config.node_dims.y * config.cells_per_node.y,
+                            config.node_dims.z * config.cells_per_node.z};
+  const auto state = md::generate_dataset(dims, 8.5, ff, p);
+
+  core::Simulation sim(state, ff, config);
+  sim.run(2);
+
+  const sim::ElisionStats& stats = sim.elision_stats();
+  // "State changed while skipped": a single occurrence means elision would
+  // have diverged from the naive loop on this workload.
+  EXPECT_EQ(stats.mispredicts, 0u)
+      << "oracle under-predicted a wake (nodes=" << config.node_dims.x << "x"
+      << config.node_dims.y << "x" << config.node_dims.z
+      << ", link_latency=" << config.channel.link_latency << ")";
+  EXPECT_EQ(stats.elided_cycles, 0u) << "validate mode must not skip";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElisionFuzz,
+                         ::testing::Values(3u, 11u, 23u, 57u, 91u));
+
+// Deterministic companion to the fuzz property: long links make whole
+// windows provably dead, so the audited naive loop must both observe idle
+// wakes ("woke with no state change" — the waste elision removes) and
+// still finish with a zero mispredict count.
+TEST(ElisionFuzz, LongLinksProduceIdleWakesButNoMispredicts) {
+  core::ClusterConfig config;
+  config.node_dims = {2, 2, 2};
+  config.cells_per_node = {2, 2, 2};
+  config.channel.link_latency = 800;
+  config.tick_mode = sim::TickMode::kValidate;
+
+  md::DatasetParams p;
+  p.particles_per_cell = 8;
+  p.seed = 21;
+  p.temperature = 200.0;
+  const auto ff = md::ForceField::sodium();
+  const auto state = md::generate_dataset({4, 4, 4}, 8.5, ff, p);
+
+  core::Simulation sim(state, ff, config);
+  sim.run(1);
+
+  const sim::ElisionStats& stats = sim.elision_stats();
+  EXPECT_EQ(stats.mispredicts, 0u);
+  EXPECT_GT(stats.idle_wakes, 0u)
+      << "800-cycle links should leave globally dead cycles to observe";
+}
+
 // --------------------------------------------------------- ring conservation
 
 struct FuzzTok {

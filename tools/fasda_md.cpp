@@ -27,6 +27,10 @@
 //   --cells XYZ        cells per FPGA (default = --space: single node)
 //   --pes N --spes N   strong-scaling variant (defaults 1, 1)
 //   --workers N        cycle-scheduler threads (default 1; 0 = all cores)
+//   --naive-tick       disable idle-cycle elision and tick every component
+//                      every cycle (DESIGN.md section 13); bitwise
+//                      identical results, slower wall clock. The
+//                      FASDA_NAIVE_TICK env var does the same.
 //   --faults SPEC      lossy-fabric model + ack/retransmit recovery
 //                      (DESIGN.md section 10). SPEC is a comma list:
 //                      drop=0.05,dup=0.02,reorder=0.02,corrupt=0.01,seed=7,
@@ -128,6 +132,7 @@ int main(int argc, char** argv) {
   spec.pes_per_spe = static_cast<int>(cli.get_or("pes", 1L));
   spec.spes = static_cast<int>(cli.get_or("spes", 1L));
   spec.num_worker_threads = static_cast<int>(cli.get_or("workers", 1L));
+  spec.naive_tick = cli.has("naive-tick");
   if (auto faults = cli.get("faults")) {
     try {
       spec.faults = net::FaultPlan::parse(*faults);
