@@ -1,0 +1,109 @@
+// Thread vs process shard transport (DESIGN.md §14) on the Fig. 16
+// geometries: wall-clock per run and whole-cluster cycle counts for the
+// in-process transport at 1/2/4 scheduler threads against the process
+// transport at 1/2/4 forked workers. Simulated results are bitwise
+// identical across every column by contract
+// (tests/proc_sharding_test.cpp enforces it); what differs is the host
+// cost — on a single-core host the process columns mostly measure the
+// round-protocol overhead (2-3 socketpair round trips per executed
+// cycle), not parallel speedup. pairs_issued is printed as the cheap
+// cross-column identity check.
+//
+// Flags:
+//   --iters N      timesteps per configuration (default 2)
+//   --per-cell N   particles per cell (default 16)
+//   --latency N    inter-FPGA link latency in cycles (default 50)
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace fasda;
+
+struct Column {
+  const char* name;
+  int threads;
+  int procs;
+};
+
+struct RunStats {
+  double wall_s = 0;
+  sim::Cycle cycles = 0;
+  std::uint64_t pairs = 0;
+};
+
+RunStats timed_run(core::ClusterConfig config, geom::IVec3 cells,
+                   int per_cell, int iters) {
+  const auto state = bench::standard_dataset(cells, per_cell);
+  const auto t0 = std::chrono::steady_clock::now();
+  core::Simulation sim(state, md::ForceField::sodium(), config);
+  sim.run(iters);
+  const auto t1 = std::chrono::steady_clock::now();
+  RunStats r;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.cycles = sim.total_cycles();
+  r.pairs = sim.pairs_issued();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int iters = static_cast<int>(cli.get_or("iters", 2L));
+  const int per_cell = static_cast<int>(cli.get_or("per-cell", 16L));
+  const int latency = static_cast<int>(cli.get_or("latency", 50L));
+
+  struct Geometry {
+    const char* name;
+    geom::IVec3 nodes;
+    geom::IVec3 cells;
+  };
+  // Fig. 16 weak-scaling rows that actually shard (>= 2 FPGAs), cells from
+  // node_dims * 3 (each FPGA owns 3x3x3 cells), plus the strong-scaling
+  // variant-C cluster.
+  const std::vector<Geometry> geometries = {
+      {"weak_6x3x3_2fpga", {2, 1, 1}, {6, 3, 3}},
+      {"weak_6x6x3_4fpga", {2, 2, 1}, {6, 6, 3}},
+      {"weak_6x6x6_8fpga", {2, 2, 2}, {6, 6, 6}},
+  };
+  const std::vector<Column> columns = {
+      {"threads=1", 1, 0}, {"threads=2", 2, 0}, {"threads=4", 4, 0},
+      {"procs=1", 1, 1},   {"procs=2", 1, 2},   {"procs=4", 1, 4},
+  };
+
+  std::printf("proc sharding: transport wall clock, %d iters, %d/cell, "
+              "link_latency=%d (bitwise-identical columns)\n\n",
+              iters, per_cell, latency);
+  std::printf("%-18s %-10s %9s %10s %14s\n", "configuration", "transport",
+              "wall_s", "cycles", "pairs");
+  for (const auto& g : geometries) {
+    for (const auto& col : columns) {
+      auto config = bench::weak_config(g.nodes);
+      config.channel.link_latency = latency;
+      config.num_worker_threads = col.threads;
+      config.proc_workers = col.procs;
+      const RunStats r = timed_run(config, g.cells, per_cell, iters);
+      std::printf("%-18s %-10s %9.3f %10llu %14llu\n", g.name, col.name,
+                  r.wall_s, static_cast<unsigned long long>(r.cycles),
+                  static_cast<unsigned long long>(r.pairs));
+    }
+    std::printf("\n");
+  }
+  // Strong-scaling variant C (2 SPEs x 3 PEs, 8 FPGAs over 4x4x4 cells).
+  for (const auto& col : columns) {
+    auto config = bench::strong_config(3, 2);
+    config.channel.link_latency = latency;
+    config.num_worker_threads = col.threads;
+    config.proc_workers = col.procs;
+    const RunStats r = timed_run(config, {4, 4, 4}, per_cell, iters);
+    std::printf("%-18s %-10s %9.3f %10llu %14llu\n", "strong_4x4x4_C",
+                col.name, r.wall_s, static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.pairs));
+  }
+  return 0;
+}

@@ -220,6 +220,16 @@ struct TrafficMatrix {
     packets[{src, dst}]++;
     total_packets++;
   }
+
+  /// Folds another matrix in (shard-transport fold: each worker process
+  /// counts the rows its own nodes sourced, so the per-link sets are
+  /// disjoint and addition reproduces the in-process matrix exactly).
+  void merge(const TrafficMatrix& o) {
+    for (const auto& [link, n] : o.packets) packets[link] += n;
+    total_packets += o.total_packets;
+    control_packets += o.control_packets;
+    retransmit_packets += o.retransmit_packets;
+  }
 };
 
 template <class R>
@@ -710,6 +720,23 @@ class Fabric : public sim::Clocked {
     staged_.at(p.src).push_back(Staged{p, now + config_.link_latency});
   }
 
+  /// Shard-transport uplink (DESIGN.md §14). When set, commit() hands every
+  /// delivery — including fault-mutated copies and duplicates — to the sink
+  /// instead of the local destination endpoint; traffic counting and fault
+  /// injection still run here, on the source-owning side, so the per-link
+  /// fault streams and counters keep their worker-count-independent
+  /// positions. The parent routes each delivery to the worker process that
+  /// owns the destination node, which applies it via deliver_remote().
+  using Uplink = std::function<void(const Packet<R>&, sim::Cycle)>;
+  void set_uplink(Uplink sink) { uplink_ = std::move(sink); }
+
+  /// Applies a routed delivery on the destination-owning side: lands in the
+  /// endpoint's arrival queue exactly as a local commit() delivery would,
+  /// wake hook included.
+  void deliver_remote(const Packet<R>& p, sim::Cycle arrival) {
+    endpoints_.at(p.dst)->deliver(p, arrival);
+  }
+
   /// Applies the cycle's staged sends: stamps the traffic matrix and
   /// schedules the in-order arrival at each destination. Single-threaded;
   /// ascending source order matches what serial in-id-order ticking did —
@@ -725,7 +752,7 @@ class Fabric : public sim::Clocked {
         if (plan_) {
           apply_faults(s, sent);
         } else {
-          endpoints_.at(s.packet.dst)->deliver(s.packet, s.arrival);
+          emit(s.packet, s.arrival);
         }
       }
       q.clear();
@@ -799,7 +826,7 @@ class Fabric : public sim::Clocked {
     const auto exact_it = plan_->drop_exact.find({src, dst});
     const bool has_exact = exact_it != plan_->drop_exact.end();
     if (!lf.any() && !has_exact) {
-      endpoints_.at(dst)->deliver(s.packet, s.arrival);
+      emit(s.packet, s.arrival);
       return;
     }
     LinkStats& st = fault_stats_[{src, dst}];
@@ -834,12 +861,22 @@ class Fabric : public sim::Clocked {
       ++st.injected_reorders;
       fault_event("reorder", h_fault_reorder_, src, dst, sent);
     }
-    endpoints_.at(dst)->deliver(p, arrival);
+    emit(p, arrival);
     if (lf.dup > 0 && fs.rng.uniform() < lf.dup) {
-      endpoints_.at(dst)->deliver(p, arrival + 1);
+      emit(p, arrival + 1);
       ++st.injected_dups;
       fault_event("dup", h_fault_dup_, src, dst, sent);
     }
+  }
+
+  /// Terminal delivery point of commit(): local endpoint, or the uplink
+  /// when this fabric runs inside a shard-transport worker.
+  void emit(const Packet<R>& p, sim::Cycle arrival) {
+    if (uplink_) {
+      uplink_(p, arrival);
+      return;
+    }
+    endpoints_.at(p.dst)->deliver(p, arrival);
   }
 
   FaultState& fault_state(NodeId src, NodeId dst) {
@@ -860,6 +897,7 @@ class Fabric : public sim::Clocked {
   std::uint64_t salt_ = 0;
   std::map<Link, FaultState> fault_state_;
   std::map<Link, LinkStats> fault_stats_;
+  Uplink uplink_;
 
   // Telemetry (null hub = disabled; handles resolved once in set_obs).
   obs::Hub* obs_ = nullptr;

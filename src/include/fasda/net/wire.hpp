@@ -1,0 +1,184 @@
+#pragma once
+// Byte-level wire format for net::Packet and its record types (DESIGN.md
+// §14). The shard-transport worker processes ship staged fabric deliveries
+// between address spaces with these codecs, so the encoding is exact and
+// self-checking:
+//
+//   - every field is serialized explicitly in the same order packet_crc
+//     hashes it (plus `retransmit`, which the CRC deliberately excludes),
+//     little-endian, no struct padding on the wire;
+//   - fixed-point coordinates travel as their raw Q2.28 bits, so a decoded
+//     particle is bit-identical to the staged one;
+//   - encode_packet appends a trailing CRC-32 over the serialized bytes.
+//     decode_packet rejects truncation, trailing garbage, and any bit flip
+//     (the trailing CRC covers every byte, including fields outside the
+//     field-wise packet_crc digest).
+//
+// decode_packet validates shape (count in [0, kRecordsPerPacket], known
+// kind, canonical bools) but deliberately does NOT check p.crc against
+// packet_crc(p): endpoints own that policy — a corrupted-in-flight packet
+// must still cross the process boundary intact so the destination worker's
+// protocol sees the same CRC failure the in-process fabric would deliver.
+
+#include <cstdint>
+#include <vector>
+
+#include "fasda/net/network.hpp"
+#include "fasda/util/bytes.hpp"
+
+namespace fasda::net::wire {
+
+inline void put(util::ByteWriter& w, const geom::IVec3& v) {
+  w.i32(v.x);
+  w.i32(v.y);
+  w.i32(v.z);
+}
+
+inline void get(util::ByteReader& r, geom::IVec3& v) {
+  v.x = r.i32();
+  v.y = r.i32();
+  v.z = r.i32();
+}
+
+inline void put(util::ByteWriter& w, const geom::Vec3f& v) {
+  w.f32(v.x);
+  w.f32(v.y);
+  w.f32(v.z);
+}
+
+inline void get(util::ByteReader& r, geom::Vec3f& v) {
+  v.x = r.f32();
+  v.y = r.f32();
+  v.z = r.f32();
+}
+
+inline void put(util::ByteWriter& w, const fixed::FixedVec3& v) {
+  w.u32(v.x.raw());
+  w.u32(v.y.raw());
+  w.u32(v.z.raw());
+}
+
+inline void get(util::ByteReader& r, fixed::FixedVec3& v) {
+  v.x = fixed::FixedCoord::from_raw(r.u32());
+  v.y = fixed::FixedCoord::from_raw(r.u32());
+  v.z = fixed::FixedCoord::from_raw(r.u32());
+}
+
+inline void put(util::ByteWriter& w, const PosRecord& rec) {
+  put(w, rec.src_gcell);
+  put(w, rec.offset);
+  w.u8(rec.elem);
+  w.u16(rec.slot);
+}
+
+inline void get(util::ByteReader& r, PosRecord& rec) {
+  get(r, rec.src_gcell);
+  get(r, rec.offset);
+  rec.elem = r.u8();
+  rec.slot = r.u16();
+}
+
+inline void put(util::ByteWriter& w, const FrcRecord& rec) {
+  put(w, rec.dest_gcell);
+  put(w, rec.force);
+  w.u16(rec.slot);
+}
+
+inline void get(util::ByteReader& r, FrcRecord& rec) {
+  get(r, rec.dest_gcell);
+  get(r, rec.force);
+  rec.slot = r.u16();
+}
+
+inline void put(util::ByteWriter& w, const MigRecord& rec) {
+  put(w, rec.dest_gcell);
+  put(w, rec.offset);
+  put(w, rec.vel);
+  w.u8(rec.elem);
+  w.u32(rec.particle_id);
+}
+
+inline void get(util::ByteReader& r, MigRecord& rec) {
+  get(r, rec.dest_gcell);
+  get(r, rec.offset);
+  get(r, rec.vel);
+  rec.elem = r.u8();
+  rec.particle_id = r.u32();
+}
+
+/// Header + `count` records, in packet_crc field order (retransmit and the
+/// stored crc ride after the digest-covered fields).
+template <class R>
+void put_packet(util::ByteWriter& w, const Packet<R>& p) {
+  w.u8(static_cast<std::uint8_t>(p.kind));
+  w.u64(p.seq);
+  w.u64(p.ack);
+  w.u64(p.nack);
+  w.u8(p.has_nack ? 1 : 0);
+  w.i32(p.count);
+  w.u8(p.last ? 1 : 0);
+  w.i32(p.src);
+  w.i32(p.dst);
+  w.u8(p.retransmit ? 1 : 0);
+  w.u32(p.crc);
+  for (int i = 0; i < p.count && i < kRecordsPerPacket; ++i) {
+    put(w, p.records[i]);
+  }
+}
+
+/// Returns false on overrun or out-of-range shape fields. Records beyond
+/// `count` stay default-constructed, exactly as Endpoint packing leaves
+/// them.
+template <class R>
+bool get_packet(util::ByteReader& r, Packet<R>& p) {
+  const std::uint8_t kind = r.u8();
+  p.seq = r.u64();
+  p.ack = r.u64();
+  p.nack = r.u64();
+  const std::uint8_t has_nack = r.u8();
+  p.count = r.i32();
+  const std::uint8_t last = r.u8();
+  p.src = r.i32();
+  p.dst = r.i32();
+  const std::uint8_t retransmit = r.u8();
+  p.crc = r.u32();
+  if (!r.ok() || kind > 1 || has_nack > 1 || last > 1 || retransmit > 1 ||
+      p.count < 0 || p.count > kRecordsPerPacket) {
+    return false;
+  }
+  p.kind = static_cast<PacketKind>(kind);
+  p.has_nack = has_nack != 0;
+  p.last = last != 0;
+  p.retransmit = retransmit != 0;
+  p.records = {};
+  for (int i = 0; i < p.count; ++i) get(r, p.records[i]);
+  return r.ok();
+}
+
+/// Self-checking buffer: serialized packet + trailing CRC-32 over the
+/// serialized bytes.
+template <class R>
+std::vector<std::uint8_t> encode_packet(const Packet<R>& p) {
+  util::ByteWriter w;
+  put_packet(w, p);
+  util::Crc32 crc;
+  crc.add_bytes(w.data().data(), w.size());
+  w.u32(crc.value());
+  return w.take();
+}
+
+/// Strict decode of an encode_packet buffer: rejects truncation, trailing
+/// garbage, shape violations, and any flipped bit (trailing CRC mismatch).
+template <class R>
+bool decode_packet(const std::vector<std::uint8_t>& bytes, Packet<R>& p) {
+  if (bytes.size() < 4) return false;
+  const std::size_t body = bytes.size() - 4;
+  util::Crc32 crc;
+  crc.add_bytes(bytes.data(), body);
+  util::ByteReader tail(bytes.data() + body, 4);
+  if (tail.u32() != crc.value()) return false;
+  util::ByteReader r(bytes.data(), body);
+  return get_packet(r, p) && r.done();
+}
+
+}  // namespace fasda::net::wire

@@ -17,6 +17,7 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fasda/obs/obs.hpp"
@@ -217,6 +218,18 @@ struct UtilCounter {
 using ShardId = int;
 inline constexpr ShardId kGlobalShard = -1;
 
+/// Busy-shard fast path (DESIGN.md §13). A group that stays awake for
+/// kHotStreak consecutive executed cycles without ever having slept is
+/// marked hot: its per-cycle wake sweep (one next_wake call per member,
+/// which costs more than the ticks it could save on a busy datapath) is
+/// skipped and every member is ticked unconditionally — bitwise safe
+/// because unconditional ticking is exactly the naive schedule. Every
+/// kHotProbePeriod cycles the group is re-swept so a workload that goes
+/// idle later is demoted and can sleep again; the probe bounds the elision
+/// opportunity a hot group can hide to one period per demotion.
+inline constexpr std::uint32_t kHotStreak = 4;
+inline constexpr std::uint32_t kHotProbePeriod = 64;
+
 /// How Scheduler::run_until drives the cluster.
 ///   kElide    — idle-cycle elision: skip globally-dead windows outright and
 ///               skip the tick of individually-idle components inside
@@ -376,6 +389,161 @@ class Scheduler {
     return cycle_;
   }
 
+  // ------------------------------------------------ shard-transport driver
+  // The elided loop decomposed into externally drivable phases (DESIGN.md
+  // §14). A shard::ProcTransport worker process owns a contiguous slice of
+  // the shard groups and is driven cycle-by-cycle by its parent: begin-run,
+  // then per round loop-top (sweep, returns the min wake over the owned
+  // slice), either a window jump or one executed cycle, and a finishing
+  // jump+flush. run_until drives the same phases in-process over the full
+  // group range, so the two paths cannot diverge.
+
+  /// Restricts every sharded loop (sweeps, ticks, commits, flushes, stats)
+  /// to groups [begin, end). Global components/clocked stay included — a
+  /// worker's fabrics only ever stage traffic from its own nodes.
+  void set_owned_shards(std::size_t begin, std::size_t end) {
+    own_begin_ = begin;
+    own_end_ = end;
+  }
+
+  /// Mirrors the run_until_elided entry: arbitrary state may have changed
+  /// since the last run (loaders, node arming), so mark every owned group
+  /// awake for a total first sweep, and force the first hot probe.
+  void driver_begin_run() {
+    const auto [lo, hi] = owned_range();
+    for (std::size_t i = lo; i < hi; ++i) {
+      ShardGroup& g = groups_[i];
+      g.wake = cycle_;
+      g.skip_from = kNeverCycle;
+      g.idle = 0;
+      g.probe_in = 0;
+    }
+    poke_all_.store(kNeverCycle, std::memory_order_relaxed);
+  }
+
+  /// Loop top at now == cycle_: drains pokes, sweeps global components,
+  /// flushes and re-sweeps due groups (with the busy-shard fast path), opens
+  /// deferred windows for groups that fall asleep, and returns the earliest
+  /// wake over the owned slice.
+  Cycle driver_loop_top() {
+    const Cycle now = cycle_;
+    const auto [lo, hi] = owned_range();
+    // Fold worker-thread pokes (barrier releases) into every group.
+    const Cycle poke =
+        poke_all_.exchange(kNeverCycle, std::memory_order_relaxed);
+    if (poke != kNeverCycle) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        groups_[i].wake = std::min(groups_[i].wake, poke);
+      }
+    }
+    Cycle wake = kNeverCycle;
+    for (Component* c : global_components_) {
+      const Cycle w = c->next_wake(now);
+      c->set_sched_wake(w);
+      wake = std::min(wake, w);
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      ShardGroup& g = groups_[i];
+      if (g.hot) {
+        if (g.probe_in == 0) {
+          sweep_group(g, now);
+          if (g.wake > now) {
+            // Probe found the group idle: demote and let it sleep.
+            g.hot = false;
+            g.ever_slept = true;
+            g.busy_streak = 0;
+            g.skip_from = now;
+          } else {
+            g.probe_in = kHotProbePeriod;
+          }
+        } else {
+          --g.probe_in;
+          g.wake = now;  // hot groups never have a deferred window open
+          g.idle = 0;
+        }
+      } else if (g.wake <= now) {
+        flush_group_idle(g, now);
+        sweep_group(g, now);
+        if (g.wake > now) {  // falls asleep: open window
+          g.skip_from = now;
+          g.ever_slept = true;
+          g.busy_streak = 0;
+        } else if (!g.ever_slept && ++g.busy_streak >= kHotStreak) {
+          g.hot = true;
+          g.probe_in = kHotProbePeriod;
+        }
+      }
+      wake = std::min(wake, g.wake);
+    }
+    return wake;
+  }
+
+  /// Jumps the clock over a globally dead window [cycle_, to): sleeping
+  /// groups' deferred windows absorb it, only global components and the
+  /// eager prefixes replay it directly.
+  void driver_jump(Cycle to) {
+    const Cycle now = cycle_;
+    const auto [lo, hi] = owned_range();
+    for (Component* c : global_components_) c->skip_idle(now, to);
+    for (std::size_t i = lo; i < hi; ++i) {
+      ShardGroup& g = groups_[i];
+      for (std::size_t e = 0; e < g.eager; ++e) {
+        g.components[e]->skip_idle(now, to);
+      }
+    }
+    stats_.elided_cycles += to - now;
+    cycle_ = to;
+  }
+
+  /// Executes one elided cycle: stats accounting over the owned slice, then
+  /// the selective tick/commit fan-out.
+  void driver_execute() {
+    const auto [lo, hi] = owned_range();
+    for (std::size_t i = lo; i < hi; ++i) {
+      const ShardGroup& g = groups_[i];
+      if (g.wake > cycle_) {
+        stats_.component_idle_skips += g.components.size();
+        ++stats_.shard_sleep_cycles;
+      } else {
+        stats_.component_idle_skips += g.idle;
+      }
+    }
+    run_cycle_elided();
+    ++stats_.executed_cycles;
+  }
+
+  /// Executes one naive cycle over the owned slice (the worker-side
+  /// FASDA_NAIVE_TICK path; the in-process naive loop keeps using
+  /// run_cycle over the flat registration order).
+  void driver_execute_naive() {
+    const Cycle now = cycle_;
+    const auto [lo, hi] = owned_range();
+    for (Component* c : global_components_) c->tick(now);
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (Component* c : groups_[i].components) c->tick(now);
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (Clocked* c : groups_[i].clocked) c->commit();
+    }
+    for (Clocked* c : global_clocked_) c->commit();
+    ++cycle_;
+    ++stats_.executed_cycles;
+  }
+
+  /// Settles a run at `at`: jumps any remaining window, then flushes every
+  /// open deferred idle window so post-run bookkeeping matches the naive
+  /// schedule (the worker-side equivalent of run_until's exit flush).
+  void driver_finish(Cycle at) {
+    if (cycle_ < at) driver_jump(at);
+    flush_deferred_idle();
+  }
+
+  /// Global (unsharded) components cannot be split across worker processes;
+  /// shard::ProcTransport refuses clusters that register any.
+  std::size_t global_component_count() const {
+    return global_components_.size();
+  }
+
  protected:
   /// One shard's slice of the registration, plus its sleep state. `wake` is
   /// the cached minimum of the members' swept wakes (folded with any poke);
@@ -392,6 +560,14 @@ class Scheduler {
     Cycle wake = 0;                      // cached group wake (<= now: awake)
     Cycle skip_from = kNeverCycle;       // deferred idle window start
     std::size_t idle = 0;                // sleepers at the last sweep (stats)
+    // Busy-shard fast path: `hot` groups skip the per-cycle sweep and tick
+    // every member; demoted by the periodic probe the moment a sweep finds
+    // the group asleep. ever_slept gates promotion — a group that has ever
+    // slept is elision-profitable and never goes hot.
+    bool hot = false;
+    bool ever_slept = false;
+    std::uint32_t busy_streak = 0;
+    std::uint32_t probe_in = 0;
   };
 
   virtual void add_impl(Component* c, ShardId shard) {
@@ -435,6 +611,7 @@ class Scheduler {
   /// run_cycle() is left untouched for direct (test) callers.
   virtual void run_cycle_elided() {
     const Cycle now = cycle_;
+    const auto [lo, hi] = owned_range();
     for (Component* c : global_components_) {
       if (c->sched_wake() <= now) {
         c->tick(now);
@@ -442,11 +619,19 @@ class Scheduler {
         c->skip_idle(now, now + 1);
       }
     }
-    for (ShardGroup& g : groups_) {
+    for (std::size_t gi = lo; gi < hi; ++gi) {
+      ShardGroup& g = groups_[gi];
       if (g.wake > now) {
         for (std::size_t i = 0; i < g.eager; ++i) {
           g.components[i]->skip_idle(now, now + 1);
         }
+        continue;
+      }
+      if (g.hot) {
+        // Busy-shard fast path: the loop top skipped the sweep, so the
+        // per-member wake caches are stale — tick everyone. That is the
+        // naive schedule for this shard, hence bitwise identical.
+        for (Component* c : g.components) c->tick(now);
         continue;
       }
       for (Component* c : g.components) {
@@ -457,7 +642,8 @@ class Scheduler {
         }
       }
     }
-    for (ShardGroup& g : groups_) {
+    for (std::size_t gi = lo; gi < hi; ++gi) {
+      ShardGroup& g = groups_[gi];
       if (g.wake > now) continue;
       for (Clocked* c : g.clocked) c->commit();
     }
@@ -527,71 +713,34 @@ class Scheduler {
   /// unwinding), so utilization counters observed after the run match the
   /// naive schedule exactly.
   void flush_deferred_idle() {
-    for (ShardGroup& g : groups_) flush_group_idle(g, cycle_);
+    const auto [lo, hi] = owned_range();
+    for (std::size_t i = lo; i < hi; ++i) flush_group_idle(groups_[i], cycle_);
+  }
+
+  /// The owned slice of groups_, clamped to its current size (groups are
+  /// created lazily during registration).
+  std::pair<std::size_t, std::size_t> owned_range() const {
+    const std::size_t hi = std::min(own_end_, groups_.size());
+    return {std::min(own_begin_, hi), hi};
   }
 
   void run_until_elided(const std::function<bool()>& done, Cycle max_cycles,
                         const ExternalWake& external_wake) {
-    // Arbitrary state may have changed between run_until calls (loaders,
-    // node arming) — mark every group awake so the first sweep is total.
-    for (ShardGroup& g : groups_) {
-      g.wake = cycle_;
-      g.skip_from = kNeverCycle;
-      g.idle = 0;
-    }
-    poke_all_.store(kNeverCycle, std::memory_order_relaxed);
+    driver_begin_run();
     try {
       while (!done()) {
         if (cycle_ >= max_cycles) throw_budget_overrun();
         const Cycle now = cycle_;
-        // Fold worker-thread pokes (barrier releases) into every group.
-        const Cycle poke =
-            poke_all_.exchange(kNeverCycle, std::memory_order_relaxed);
-        if (poke != kNeverCycle) {
-          for (ShardGroup& g : groups_) g.wake = std::min(g.wake, poke);
-        }
-        Cycle wake = kNeverCycle;
-        for (Component* c : global_components_) {
-          const Cycle w = c->next_wake(now);
-          c->set_sched_wake(w);
-          wake = std::min(wake, w);
-        }
-        for (ShardGroup& g : groups_) {
-          if (g.wake <= now) {
-            flush_group_idle(g, now);
-            sweep_group(g, now);
-            if (g.wake > now) g.skip_from = now;  // falls asleep: open window
-          }
-          wake = std::min(wake, g.wake);
-        }
+        Cycle wake = driver_loop_top();
         if (external_wake) wake = std::min(wake, external_wake(now));
         if (wake > now) {
           // Globally dead window [now, wake): no ticks can change state, so
           // jump. Clamping to the budget keeps the overrun throw at the
-          // same cycle the naive loop would reach it. Sleeping groups'
-          // deferred windows absorb the jump; only globals and the eager
-          // prefixes replay it directly.
-          const Cycle to = std::min(wake, max_cycles);
-          for (Component* c : global_components_) c->skip_idle(now, to);
-          for (ShardGroup& g : groups_) {
-            for (std::size_t i = 0; i < g.eager; ++i) {
-              g.components[i]->skip_idle(now, to);
-            }
-          }
-          stats_.elided_cycles += to - now;
-          cycle_ = to;
+          // same cycle the naive loop would reach it.
+          driver_jump(std::min(wake, max_cycles));
           continue;
         }
-        for (const ShardGroup& g : groups_) {
-          if (g.wake > now) {
-            stats_.component_idle_skips += g.components.size();
-            ++stats_.shard_sleep_cycles;
-          } else {
-            stats_.component_idle_skips += g.idle;
-          }
-        }
-        run_cycle_elided();
-        ++stats_.executed_cycles;
+        driver_execute();
       }
     } catch (...) {
       flush_deferred_idle();
@@ -631,6 +780,10 @@ class Scheduler {
   /// Pending wake_all_shards poke (kNeverCycle = none); written by workers,
   /// drained by the driving thread before each sweep.
   std::atomic<Cycle> poke_all_{kNeverCycle};
+  /// Owned group window [own_begin_, own_end_), see set_owned_shards. The
+  /// defaults cover every group — only ProcTransport workers narrow it.
+  std::size_t own_begin_ = 0;
+  std::size_t own_end_ = std::numeric_limits<std::size_t>::max();
   Cycle cycle_ = 0;
   obs::Hub* obs_ = nullptr;
   TickMode mode_ = TickMode::kNaive;

@@ -51,6 +51,12 @@ void ParallelScheduler::run_cycle_elided() {
             }
             continue;
           }
+          if (g.hot) {
+            // Busy-shard fast path: wake caches are stale (no sweep ran),
+            // so tick everyone — the naive schedule for this shard.
+            for (Component* c : g.components) c->tick(now);
+            continue;
+          }
           for (Component* c : g.components) tick_or_skip(c);
         }
       },

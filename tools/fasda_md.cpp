@@ -27,6 +27,13 @@
 //   --cells XYZ        cells per FPGA (default = --space: single node)
 //   --pes N --spes N   strong-scaling variant (defaults 1, 1)
 //   --workers N        cycle-scheduler threads (default 1; 0 = all cores)
+//   --proc-workers N   run the shard slices in N forked worker processes
+//                      over socketpairs instead of threads (DESIGN.md
+//                      section 14; default 0 = in-process). Bitwise
+//                      identical results; mutually exclusive with
+//                      --workers > 1. A worker process dying mid-run
+//                      surfaces as an unrecovered node failure (exit 3, or
+//                      a supervised restart under --supervise).
 //   --naive-tick       disable idle-cycle elision and tick every component
 //                      every cycle (DESIGN.md section 13); bitwise
 //                      identical results, slower wall clock. The
@@ -132,6 +139,7 @@ int main(int argc, char** argv) {
   spec.pes_per_spe = static_cast<int>(cli.get_or("pes", 1L));
   spec.spes = static_cast<int>(cli.get_or("spes", 1L));
   spec.num_worker_threads = static_cast<int>(cli.get_or("workers", 1L));
+  spec.proc_workers = static_cast<int>(cli.get_or("proc-workers", 0L));
   spec.naive_tick = cli.has("naive-tick");
   if (auto faults = cli.get("faults")) {
     try {
