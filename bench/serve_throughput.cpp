@@ -1,0 +1,131 @@
+// serve_throughput — sustained job throughput of the fasda_serve daemon
+// core (DESIGN.md §15), measured end to end over real loopback sockets.
+//
+// An in-process Server is loaded by N client threads, each submitting M
+// jobs of R ensemble replicas (N*M*R queued replicas total; the default
+// 4 x 64 x 8 = 2048 comfortably exceeds the 1000-replica floor the
+// acceptance bar asks for). Clients submit everything up front — the
+// queue capacity is sized to hold the full backlog, so the measurement is
+// the drain rate of the admission/queue/executor pipeline, not client
+// pacing. Results are printed as JSON and optionally written to --out
+// (BENCH_serve.json at the repo root is a committed snapshot).
+//
+// Usage:
+//   serve_throughput [--clients 4] [--jobs 64] [--replicas 8] [--steps 2]
+//                    [--queue-workers 2] [--out FILE] [--date YYYY-MM-DD]
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fasda/obs/obs.hpp"
+#include "fasda/serve/client.hpp"
+#include "fasda/serve/server.hpp"
+#include "fasda/util/cli.hpp"
+#include "fasda/util/stopwatch.hpp"
+
+using namespace fasda;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const int clients = static_cast<int>(cli.get_or("clients", 4L));
+  const int jobs = static_cast<int>(cli.get_or("jobs", 64L));
+  const int replicas = static_cast<int>(cli.get_or("replicas", 8L));
+  const int steps = static_cast<int>(cli.get_or("steps", 2L));
+  const std::size_t queue_workers =
+      static_cast<std::size_t>(cli.get_or("queue-workers", 2L));
+  const std::string out_path = cli.get_or("out", "");
+  const std::string date = cli.get_or("date", "unknown");
+
+  serve::ServerConfig config;
+  config.queue_workers = queue_workers;
+  config.queue.capacity =
+      static_cast<std::size_t>(clients) * static_cast<std::size_t>(jobs) + 16;
+  serve::Server server(config);
+  server.start();
+
+  std::atomic<int> ok{0};
+  std::atomic<int> failed{0};
+  util::Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        serve::Client client("127.0.0.1", server.port());
+        // Submit the whole backlog first so the queue really holds
+        // clients*jobs entries, then collect results in submit order.
+        std::vector<std::uint64_t> ids;
+        ids.reserve(static_cast<std::size_t>(jobs));
+        for (int j = 0; j < jobs; ++j) {
+          serve::JobRequest req;
+          req.tenant = "bench" + std::to_string(c);
+          req.replicas = replicas;
+          req.steps = steps;
+          req.space = "333";
+          req.per_cell = 4;
+          req.seed = 0x5eed + static_cast<std::uint64_t>(c * jobs + j);
+          req.batch_workers = 1;
+          const auto reply = client.submit(req);
+          if (!reply.accepted) {
+            std::fprintf(stderr, "bench: rejected: %s\n",
+                         reply.reason.c_str());
+            failed.fetch_add(1);
+            continue;
+          }
+          ids.push_back(reply.job_id);
+        }
+        for (const std::uint64_t id : ids) {
+          const serve::JobResult result = client.wait_result(id);
+          if (result.outcome == serve::JobOutcome::kOk) {
+            ok.fetch_add(1);
+          } else {
+            failed.fetch_add(1);
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench: client %d: %s\n", c, e.what());
+        failed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = wall.seconds();
+  server.drain_and_stop();
+
+  const int total = clients * jobs;
+  char json[2048];
+  std::snprintf(
+      json, sizeof json,
+      "{\n"
+      "  \"benchmark\": \"fasda_serve sustained job throughput over "
+      "loopback TCP (DESIGN.md \\u00a715)\",\n"
+      "  \"date\": \"%s\",\n"
+      "  \"command\": \"./build/bench/serve_throughput --clients %d "
+      "--jobs %d --replicas %d --steps %d --queue-workers %zu\",\n"
+      "  \"host\": {\n"
+      "    \"hardware_concurrency\": %u\n"
+      "  },\n"
+      "  \"results\": {\n"
+      "    \"jobs\": %d,\n"
+      "    \"jobs_ok\": %d,\n"
+      "    \"jobs_failed\": %d,\n"
+      "    \"queued_ensemble_replicas\": %d,\n"
+      "    \"wall_seconds\": %.3f,\n"
+      "    \"jobs_per_second\": %.2f,\n"
+      "    \"replicas_per_second\": %.2f\n"
+      "  }\n"
+      "}\n",
+      date.c_str(), clients, jobs, replicas, steps, queue_workers,
+      std::thread::hardware_concurrency(), total, ok.load(), failed.load(),
+      total * replicas, seconds, seconds > 0 ? total / seconds : 0.0,
+      seconds > 0 ? total * replicas / seconds : 0.0);
+  std::fputs(json, stdout);
+  if (!out_path.empty() && !obs::write_text_file(out_path, json)) {
+    std::fprintf(stderr, "bench: failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  return failed.load() == 0 ? 0 : 1;
+}

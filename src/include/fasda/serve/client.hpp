@@ -1,0 +1,66 @@
+#pragma once
+// Thin client for the fasda_serve protocol, shared by fasda_loadgen, the
+// serve bench, and the test battery. One Client owns one connection; the
+// server pushes kStatus/kResult frames for jobs submitted on that
+// connection, so run_job() can submit and then just read frames until the
+// result lands, counting status pushes along the way.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "fasda/serve/job.hpp"
+#include "fasda/serve/wire.hpp"
+
+namespace fasda::serve {
+
+class Client {
+ public:
+  Client(const std::string& host, std::uint16_t port);
+
+  struct SubmitReply {
+    bool accepted = false;
+    std::uint64_t job_id = 0;
+    std::string reason;  ///< admit_reason / "bad-request" when rejected
+    std::string detail;
+  };
+
+  /// Sends kSubmit and reads the kAccepted/kRejected reply. Throws
+  /// WireError on socket failure or protocol violation.
+  SubmitReply submit(const JobRequest& req);
+
+  struct RunOutcome {
+    SubmitReply reply;
+    std::optional<JobResult> result;  ///< set iff reply.accepted
+    int status_frames = 0;            ///< kStatus pushes seen on the way
+  };
+
+  /// submit() + read frames until this job's kResult arrives.
+  RunOutcome run_job(const JobRequest& req);
+
+  /// Reads frames until kResult for `job_id`; counts kStatus pushes into
+  /// `status_frames` when non-null.
+  JobResult wait_result(std::uint64_t job_id, int* status_frames = nullptr);
+
+  /// kQuery for any job id; returns the kStatus payload (JSON text), or
+  /// the kRejected payload with `rejected` set true.
+  std::string query(std::uint64_t job_id, bool& rejected);
+
+  /// kPing; returns the kPong payload (server stats JSON).
+  std::string ping();
+
+  Conn& conn() { return conn_; }
+
+ private:
+  WireFrame recv_checked();
+  /// Buffers an unsolicited kStatus/kResult push (returns true) so a reply
+  /// scan never loses a result that raced it; throws on kError.
+  bool absorb_push(const WireFrame& frame);
+
+  Conn conn_;
+  std::unordered_map<std::uint64_t, JobResult> results_;
+  std::unordered_map<std::uint64_t, int> status_counts_;
+};
+
+}  // namespace fasda::serve

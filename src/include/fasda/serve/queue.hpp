@@ -1,0 +1,122 @@
+#pragma once
+// Bounded job queue with admission control for fasda_serve (DESIGN.md
+// §15). Admission is decided synchronously under one lock — a submit is
+// either admitted with a monotonically increasing arrival sequence or
+// rejected with a typed reason (queue full, tenant over quota, draining,
+// stopped). Execution order is strict priority (higher first) with the
+// arrival sequence as the deterministic tie-break, so for any fixed
+// arrival order the pop order is a pure function of the submitted set —
+// worker count only changes concurrency, never which job a free worker
+// takes next.
+//
+// Drain protocol (the SIGTERM path): begin_drain() atomically stops
+// admitting; everything already admitted still runs; wait_idle() returns
+// once queued == running == 0. stop() is the hard variant for teardown —
+// queued-but-unstarted work is dropped (each dropped entry's work is
+// destroyed, never run).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace fasda::serve {
+
+struct QueueConfig {
+  std::size_t capacity = 256;    ///< max queued (not yet running) jobs
+  std::size_t tenant_quota = 0;  ///< max queued+running per tenant; 0 = ∞
+};
+
+enum class Admit : std::uint8_t {
+  kAdmitted = 0,
+  kQueueFull,
+  kTenantQuota,
+  kDraining,
+  kStopped,
+};
+
+const char* admit_reason(Admit a);
+
+class JobQueue {
+ public:
+  explicit JobQueue(QueueConfig config);
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Spawns `n` worker threads that pop and run admitted work. May be
+  /// called once; n = 0 leaves the queue admission-only (tests pop with
+  /// try_run_one()).
+  void start_workers(std::size_t n);
+
+  struct Ticket {
+    Admit status = Admit::kStopped;
+    std::uint64_t seq = 0;  ///< arrival sequence when admitted
+  };
+
+  /// Admission decision + enqueue, atomically. `work` runs exactly once on
+  /// some worker (or try_run_one caller) unless the queue is stopped first.
+  Ticket submit(const std::string& tenant, int priority,
+                std::function<void()> work);
+
+  /// Pops and runs the highest-priority entry on the calling thread.
+  /// Returns false when nothing was queued.
+  bool try_run_one();
+
+  /// Stops admitting new work; admitted work keeps running.
+  void begin_drain();
+  bool draining() const;
+
+  /// Blocks until queued == running == 0 (drain completion).
+  void wait_idle();
+
+  /// Hard stop: refuse new work, drop queued-but-unstarted entries, wake
+  /// and join workers (the job each worker is executing finishes first).
+  void stop();
+
+  std::size_t queued() const;
+  std::size_t running() const;
+  /// Queued + running entries currently charged to `tenant`.
+  std::size_t tenant_load(const std::string& tenant) const;
+
+ private:
+  struct Entry {
+    int priority = 0;
+    std::uint64_t seq = 0;
+    std::string tenant;
+    // Shared because std::set elements are const; the function itself is
+    // only invoked once, by whichever thread extracts the entry.
+    std::shared_ptr<std::function<void()>> work;
+  };
+  struct Order {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq < b.seq;
+    }
+  };
+
+  bool pop_locked(Entry& out);
+  void run_entry(Entry entry);
+  void worker_loop();
+
+  QueueConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // workers: queue non-empty or stopping
+  std::condition_variable cv_idle_;   // wait_idle: queued+running drained
+  std::set<Entry, Order> pending_;
+  std::unordered_map<std::string, std::size_t> tenant_load_;
+  std::vector<std::thread> workers_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t running_ = 0;
+  bool draining_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace fasda::serve

@@ -1,0 +1,128 @@
+#pragma once
+// fasda_serve daemon core (DESIGN.md §15): a long-running TCP front door
+// over the engine registry. Connections submit JobRequests; admitted jobs
+// flow through the bounded priority JobQueue onto queue-worker threads
+// that call serve::execute_job — the same pure function the direct
+// BatchRunner path uses, which is the whole served-vs-direct determinism
+// argument. Per-job streaming status is published into a per-job obs
+// metrics registry and pushed to the submitting connection as kStatus
+// frames; anyone may poll any job with kQuery.
+//
+// Lifecycle: start() binds and spawns the acceptor + queue workers;
+// begin_drain() (the SIGTERM path) atomically stops admissions while
+// admitted jobs keep running; drain_and_stop() waits for the queue to
+// empty, then closes every socket and joins every thread. The destructor
+// hard-stops (queued-but-unstarted jobs are dropped).
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fasda/obs/obs.hpp"
+#include "fasda/serve/job.hpp"
+#include "fasda/serve/queue.hpp"
+#include "fasda/serve/wire.hpp"
+
+namespace fasda::serve {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;     ///< 0 = ephemeral; read back via port()
+  std::size_t queue_workers = 1;  ///< 0 = admission-only (tests)
+  QueueConfig queue;
+  std::size_t result_history = 256;  ///< finished jobs kept for kQuery
+  int recv_timeout_seconds = 600;    ///< per-connection read timeout
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, spawns the acceptor and queue workers. Throws
+  /// WireError if the address cannot be bound.
+  void start();
+
+  std::uint16_t port() const { return port_; }
+  const std::string& host() const { return config_.host; }
+
+  /// Stops admitting jobs (kRejected "draining"); running jobs continue.
+  void begin_drain();
+  bool draining() const { return queue_.draining(); }
+
+  /// Drain to empty, then tear down sockets and threads. Idempotent.
+  void drain_and_stop();
+
+  /// Hard stop for teardown: queued-but-unstarted jobs are dropped.
+  void stop();
+
+  // Introspection for tests and the daemon's exit report.
+  std::uint64_t jobs_submitted() const { return jobs_submitted_.load(); }
+  std::uint64_t jobs_completed() const { return jobs_completed_.load(); }
+  std::uint64_t jobs_rejected() const { return jobs_rejected_.load(); }
+  std::size_t queue_depth() const { return queue_.queued(); }
+  std::size_t jobs_running() const { return queue_.running(); }
+
+  /// Installs a SIGTERM + SIGINT handler that routes to `server`'s drain
+  /// pipe (async-signal-safe write). Pass nullptr to restore the previous
+  /// handlers. One server at a time.
+  static void install_signal_drain(Server* server);
+
+  /// Blocks until a drain signal arrives (SIGTERM/SIGINT via
+  /// install_signal_drain, or request_drain()), then calls begin_drain()
+  /// and returns.
+  void wait_for_drain_signal();
+
+  /// Programmatic equivalent of SIGTERM (also unblocks
+  /// wait_for_drain_signal).
+  void request_drain();
+
+ private:
+  struct ConnState;
+  struct Job;
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<ConnState> conn);
+  void handle_submit(ConnState& conn, const std::string& payload);
+  void handle_query(ConnState& conn, const std::string& payload);
+  void handle_ping(ConnState& conn);
+  void run_job(std::shared_ptr<Job> job);
+  std::string job_status_json(Job& job);
+  void reap_history_locked();
+
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> torn_down_{false};
+
+  JobQueue queue_;
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<ConnState>> conns_;
+  std::vector<std::thread> conn_threads_;
+
+  std::mutex jobs_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::deque<std::uint64_t> finished_order_;
+  std::uint64_t next_job_id_ = 1;
+
+  std::atomic<std::uint64_t> jobs_submitted_{0};
+  std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::uint64_t> jobs_rejected_{0};
+
+  int drain_pipe_[2] = {-1, -1};  // [0] read, [1] write (signal-safe)
+};
+
+}  // namespace fasda::serve

@@ -1,0 +1,157 @@
+#include "fasda/serve/client.hpp"
+
+#include "fasda/serve/json.hpp"
+
+namespace fasda::serve {
+namespace {
+
+std::optional<std::uint64_t> job_id_of(const std::string& payload) {
+  std::string error;
+  const auto v = json::parse(payload, &error);
+  const json::Value* id = v ? v->find("job") : nullptr;
+  if (!id || !id->is_number() || !id->integral || id->integer < 0) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(id->integer);
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port)
+    : conn_(dial(host, port)) {}
+
+WireFrame Client::recv_checked() {
+  WireFrame frame;
+  const DecodeStatus st = conn_.recv(frame);
+  if (st != DecodeStatus::kFrame) {
+    throw WireError(std::string("protocol error from server: ") +
+                    decode_status_name(st));
+  }
+  return frame;
+}
+
+bool Client::absorb_push(const WireFrame& frame) {
+  // Jobs submitted earlier on this connection stream kStatus/kResult at
+  // any time; buffer them so pipelined submit-then-wait callers (the
+  // bench, loadgen) never lose a result that raced a reply.
+  if (frame.type == MsgType::kStatus) {
+    if (const auto id = job_id_of(frame.payload)) ++status_counts_[*id];
+    return true;
+  }
+  if (frame.type == MsgType::kResult) {
+    std::string error;
+    const auto v = json::parse(frame.payload, &error);
+    const auto result = v ? JobResult::from_json(*v, error) : std::nullopt;
+    if (!result) {
+      throw WireError("malformed kResult payload: " + error);
+    }
+    results_.emplace(result->job_id, *result);
+    return true;
+  }
+  if (frame.type == MsgType::kError) {
+    throw WireError("server closed the connection: " + frame.payload);
+  }
+  return false;
+}
+
+Client::SubmitReply Client::submit(const JobRequest& req) {
+  conn_.send(MsgType::kSubmit, req.to_json());
+  for (;;) {
+    const WireFrame frame = recv_checked();
+    if (absorb_push(frame)) continue;
+    if (frame.type == MsgType::kAccepted) {
+      const auto id = job_id_of(frame.payload);
+      if (!id) {
+        throw WireError("malformed kAccepted payload: " + frame.payload);
+      }
+      SubmitReply reply;
+      reply.accepted = true;
+      reply.job_id = *id;
+      return reply;
+    }
+    if (frame.type == MsgType::kRejected) {
+      std::string error;
+      const auto v = json::parse(frame.payload, &error);
+      SubmitReply reply;
+      reply.accepted = false;
+      if (v) {
+        if (const json::Value* r = v->find("reason")) {
+          reply.reason = r->str_or("");
+        }
+        if (const json::Value* d = v->find("detail")) {
+          reply.detail = d->str_or("");
+        }
+      }
+      return reply;
+    }
+    throw WireError("unexpected reply to kSubmit: " + frame.payload);
+  }
+}
+
+JobResult Client::wait_result(std::uint64_t job_id, int* status_frames) {
+  for (;;) {
+    const auto it = results_.find(job_id);
+    if (it != results_.end()) {
+      const JobResult result = it->second;
+      results_.erase(it);
+      if (status_frames != nullptr) {
+        const auto sit = status_counts_.find(job_id);
+        *status_frames += sit == status_counts_.end()
+                              ? 0
+                              : static_cast<int>(sit->second);
+      }
+      status_counts_.erase(job_id);
+      return result;
+    }
+    const WireFrame frame = recv_checked();
+    if (!absorb_push(frame)) {
+      throw WireError("unexpected frame while waiting for result: " +
+                      frame.payload);
+    }
+  }
+}
+
+Client::RunOutcome Client::run_job(const JobRequest& req) {
+  RunOutcome out;
+  out.reply = submit(req);
+  if (!out.reply.accepted) return out;
+  out.result = wait_result(out.reply.job_id, &out.status_frames);
+  return out;
+}
+
+std::string Client::query(std::uint64_t job_id, bool& rejected) {
+  conn_.send(MsgType::kQuery, "{\"job\":" + std::to_string(job_id) + "}");
+  for (;;) {
+    const WireFrame frame = recv_checked();
+    if (frame.type == MsgType::kStatus) {
+      // The query reply carries the queried id; pushes for jobs submitted
+      // on this connection are absorbed instead. A push for the SAME id
+      // is indistinguishable from the reply, which is fine — both are
+      // fresh status snapshots.
+      if (job_id_of(frame.payload) == std::optional<std::uint64_t>(job_id)) {
+        rejected = false;
+        return frame.payload;
+      }
+      absorb_push(frame);
+      continue;
+    }
+    if (frame.type == MsgType::kRejected) {
+      rejected = true;
+      return frame.payload;
+    }
+    if (absorb_push(frame)) continue;
+    throw WireError("unexpected reply to kQuery: " + frame.payload);
+  }
+}
+
+std::string Client::ping() {
+  conn_.send(MsgType::kPing, "{}");
+  for (;;) {
+    const WireFrame frame = recv_checked();
+    if (frame.type == MsgType::kPong) return frame.payload;
+    if (absorb_push(frame)) continue;
+    throw WireError("unexpected reply to kPing: " + frame.payload);
+  }
+}
+
+}  // namespace fasda::serve

@@ -1,0 +1,148 @@
+#include "fasda/serve/queue.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace fasda::serve {
+
+const char* admit_reason(Admit a) {
+  switch (a) {
+    case Admit::kAdmitted: return "admitted";
+    case Admit::kQueueFull: return "queue-full";
+    case Admit::kTenantQuota: return "tenant-quota";
+    case Admit::kDraining: return "draining";
+    case Admit::kStopped: return "stopped";
+  }
+  return "unknown";
+}
+
+JobQueue::JobQueue(QueueConfig config) : config_(config) {}
+
+JobQueue::~JobQueue() { stop(); }
+
+void JobQueue::start_workers(std::size_t n) {
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobQueue::Ticket JobQueue::submit(const std::string& tenant, int priority,
+                                  std::function<void()> work) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return {Admit::kStopped, 0};
+  if (draining_) return {Admit::kDraining, 0};
+  if (pending_.size() >= config_.capacity) return {Admit::kQueueFull, 0};
+  if (config_.tenant_quota > 0 &&
+      tenant_load_[tenant] >= config_.tenant_quota) {
+    return {Admit::kTenantQuota, 0};
+  }
+  Entry entry;
+  entry.priority = priority;
+  entry.seq = next_seq_++;
+  entry.tenant = tenant;
+  entry.work =
+      std::make_shared<std::function<void()>>(std::move(work));
+  ++tenant_load_[tenant];
+  pending_.insert(std::move(entry));
+  cv_work_.notify_one();
+  return {Admit::kAdmitted, next_seq_ - 1};
+}
+
+bool JobQueue::pop_locked(Entry& out) {
+  if (pending_.empty()) return false;
+  auto node = pending_.extract(pending_.begin());
+  out = std::move(node.value());
+  ++running_;
+  return true;
+}
+
+void JobQueue::run_entry(Entry entry) {
+  (*entry.work)();
+  std::lock_guard<std::mutex> lock(mu_);
+  --running_;
+  auto it = tenant_load_.find(entry.tenant);
+  if (it != tenant_load_.end() && --it->second == 0) tenant_load_.erase(it);
+  cv_idle_.notify_all();
+}
+
+bool JobQueue::try_run_one() {
+  Entry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pop_locked(entry)) return false;
+  }
+  run_entry(std::move(entry));
+  return true;
+}
+
+void JobQueue::worker_loop() {
+  for (;;) {
+    Entry entry;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] { return stopped_ || !pending_.empty(); });
+      if (stopped_ && pending_.empty()) return;
+      if (!pop_locked(entry)) continue;
+    }
+    run_entry(std::move(entry));
+  }
+}
+
+void JobQueue::begin_drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+bool JobQueue::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_ || stopped_;
+}
+
+void JobQueue::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return pending_.empty() && running_ == 0; });
+}
+
+void JobQueue::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      // Already stopped; workers may still be joining below on the first
+      // caller's thread, so only the first stop() joins.
+    }
+    stopped_ = true;
+    draining_ = true;
+    for (const Entry& e : pending_) {
+      auto it = tenant_load_.find(e.tenant);
+      if (it != tenant_load_.end() && --it->second == 0) {
+        tenant_load_.erase(it);
+      }
+    }
+    pending_.clear();
+    cv_work_.notify_all();
+    cv_idle_.notify_all();
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+std::size_t JobQueue::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+std::size_t JobQueue::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+std::size_t JobQueue::tenant_load(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenant_load_.find(tenant);
+  return it == tenant_load_.end() ? 0 : it->second;
+}
+
+}  // namespace fasda::serve

@@ -1,0 +1,442 @@
+#include "fasda/serve/server.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include "fasda/serve/json.hpp"
+
+namespace fasda::serve {
+namespace {
+
+// Signal handlers cannot touch the Server object; they write one byte into
+// the drain pipe and wait_for_drain_signal() does the rest on a normal
+// thread. install_signal_drain() is documented one-server-at-a-time, so a
+// single global fd is enough.
+std::atomic<int> g_drain_write_fd{-1};
+
+void drain_signal_handler(int /*signo*/) {
+  const int fd = g_drain_write_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    // The pipe is never full in practice; a failed write just means a
+    // drain is already pending, which is the same outcome.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+/// Adapts a lambda to the StepObserver interface so the per-replica status
+/// publisher can capture the job record without the observer type needing
+/// access to Server's private nested structs.
+class FnObserver final : public engine::StepObserver {
+ public:
+  using Fn = std::function<void(int, const engine::Energies&)>;
+  explicit FnObserver(Fn fn) : fn_(std::move(fn)) {}
+  void on_sample(int step, const md::SystemState& /*state*/,
+                 const engine::Energies& energies) override {
+    fn_(step, energies);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace
+
+/// One accepted socket. `send_safe` is the only way job threads talk to a
+/// connection: it serializes whole frames under `send_mu` and demotes any
+/// socket failure (client vanished mid-job) to a dead flag — the job keeps
+/// running and is reaped normally.
+struct Server::ConnState {
+  explicit ConnState(Conn c) : conn(std::move(c)) {}
+
+  Conn conn;
+  std::mutex send_mu;
+  std::atomic<bool> alive{true};
+
+  bool send_safe(MsgType type, std::string_view payload) noexcept {
+    if (!alive.load(std::memory_order_relaxed)) return false;
+    std::lock_guard<std::mutex> lock(send_mu);
+    try {
+      conn.send(type, payload);
+      return true;
+    } catch (...) {
+      alive.store(false, std::memory_order_relaxed);
+      conn.shutdown_both();
+      return false;
+    }
+  }
+};
+
+/// One submitted job. `mu` guards state/result/hub/observers — the obs
+/// registry keeps its lock-free single-writer contract because every
+/// publish and every snapshot happens under this one mutex.
+struct Server::Job {
+  enum class State : std::uint8_t { kQueued, kRunning, kDone };
+
+  std::uint64_t id = 0;
+  JobRequest req;
+
+  std::mutex mu;
+  State state = State::kQueued;
+  obs::Hub hub;
+  std::optional<JobResult> result;
+  std::vector<std::unique_ptr<engine::StepObserver>> observers;
+  std::weak_ptr<ConnState> subscriber;
+};
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), queue_(config_.queue) {
+  if (::pipe(drain_pipe_) != 0) {
+    throw WireError(std::string("pipe: ") + std::strerror(errno));
+  }
+  ::fcntl(drain_pipe_[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(drain_pipe_[1], F_SETFD, FD_CLOEXEC);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  auto [fd, port] = listen_on(config_.host, config_.port);
+  listen_fd_ = fd;
+  port_ = port;
+  queue_.start_workers(config_.queue_workers);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  started_.store(true);
+}
+
+void Server::begin_drain() { queue_.begin_drain(); }
+
+void Server::drain_and_stop() {
+  begin_drain();
+  queue_.wait_idle();
+  stop();
+}
+
+void Server::stop() {
+  if (torn_down_.exchange(true)) return;
+  stopping_.store(true);
+  request_drain();  // unblock wait_for_drain_signal()
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<ConnState>> conns;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+    threads.swap(conn_threads_);
+  }
+  for (const auto& c : conns) c->conn.shutdown_both();
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  queue_.stop();
+  for (int& fd : drain_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void Server::request_drain() {
+  if (drain_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(drain_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::wait_for_drain_signal() {
+  char byte = 0;
+  for (;;) {
+    const ssize_t n = ::read(drain_pipe_[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    break;  // signal byte, request_drain byte, or pipe closed by stop()
+  }
+  begin_drain();
+}
+
+void Server::install_signal_drain(Server* server) {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sigemptyset(&sa.sa_mask);
+  if (server != nullptr) {
+    g_drain_write_fd.store(server->drain_pipe_[1]);
+    sa.sa_handler = drain_signal_handler;
+    sa.sa_flags = SA_RESTART;
+  } else {
+    g_drain_write_fd.store(-1);
+    sa.sa_handler = SIG_DFL;
+  }
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed by stop()
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<ConnState>(Conn(fd));
+    conn->conn.set_recv_timeout(config_.recv_timeout_seconds);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+    conn_threads_.emplace_back(
+        [this, conn] { connection_loop(std::move(conn)); });
+  }
+}
+
+void Server::connection_loop(std::shared_ptr<ConnState> conn) {
+  for (;;) {
+    WireFrame frame;
+    DecodeStatus st;
+    try {
+      st = conn->conn.recv(frame);
+    } catch (const WireError&) {
+      break;  // peer closed / timeout / shutdown by stop()
+    }
+    if (st != DecodeStatus::kFrame) {
+      // Protocol violation: answer with the typed reason, then close.
+      // After a bad length or CRC the stream cannot be resynchronized.
+      conn->send_safe(MsgType::kError, std::string("{\"reason\":") +
+                                           json::quoted(
+                                               decode_status_name(st)) +
+                                           "}");
+      break;
+    }
+    switch (frame.type) {
+      case MsgType::kSubmit: handle_submit(*conn, frame.payload); break;
+      case MsgType::kQuery: handle_query(*conn, frame.payload); break;
+      case MsgType::kPing: handle_ping(*conn); break;
+      default:
+        // A CRC-valid frame whose type only a server may send: treat as a
+        // protocol violation like an unknown type.
+        conn->send_safe(MsgType::kError,
+                        "{\"reason\":\"unexpected-type\"}");
+        conn->alive.store(false);
+        conn->conn.shutdown_both();
+        return;
+    }
+    if (!conn->alive.load()) break;
+  }
+  conn->alive.store(false);
+  conn->conn.shutdown_both();
+}
+
+void Server::handle_submit(ConnState& conn, const std::string& payload) {
+  std::string error;
+  const auto parsed = json::parse(payload, &error);
+  std::optional<JobRequest> req;
+  if (parsed) req = JobRequest::from_json(*parsed, error);
+  if (req) {
+    const std::string problem = req->validate();
+    if (!problem.empty()) {
+      req.reset();
+      error = problem;
+    }
+  }
+  if (!req) {
+    // Payload-level failure: the frame itself was valid, so the connection
+    // stays open and the tenant may retry with a fixed request.
+    jobs_rejected_.fetch_add(1);
+    conn.send_safe(MsgType::kRejected,
+                   "{\"reason\":\"bad-request\",\"detail\":" +
+                       json::quoted(error) + "}");
+    return;
+  }
+
+  std::shared_ptr<Job> job;
+  std::shared_ptr<ConnState> self;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& c : conns_) {
+      if (c.get() == &conn) {
+        self = c;
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    job = std::make_shared<Job>();
+    job->id = next_job_id_++;
+    job->req = *req;
+    job->subscriber = self;
+    jobs_.emplace(job->id, job);
+  }
+
+  // Holding job->mu across admit + kAccepted guarantees the client sees
+  // kAccepted before any kStatus/kResult push: run_job's first action is
+  // to take this same mutex.
+  std::unique_lock<std::mutex> job_lock(job->mu);
+  const JobQueue::Ticket ticket = queue_.submit(
+      req->tenant, req->priority, [this, job] { run_job(job); });
+  if (ticket.status != Admit::kAdmitted) {
+    job_lock.unlock();
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      jobs_.erase(job->id);
+    }
+    jobs_rejected_.fetch_add(1);
+    conn.send_safe(MsgType::kRejected,
+                   std::string("{\"reason\":") +
+                       json::quoted(admit_reason(ticket.status)) + "}");
+    return;
+  }
+  jobs_submitted_.fetch_add(1);
+  conn.send_safe(MsgType::kAccepted,
+                 "{\"job\":" + std::to_string(job->id) +
+                     ",\"seq\":" + std::to_string(ticket.seq) + "}");
+}
+
+void Server::run_job(std::shared_ptr<Job> job) {
+  std::shared_ptr<ConnState> sub;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->state = Job::State::kRunning;
+    sub = job->subscriber.lock();
+  }
+
+  // Per-replica status publisher: every sample lands in the job's obs
+  // registry (under job->mu, preserving the registry's single-writer
+  // contract even when batch workers sample concurrently) and a kStatus
+  // snapshot is pushed to the submitting connection if it is still there.
+  const ReplicaObserverFactory factory =
+      [this, job](int replica) -> engine::StepObserver* {
+    auto observer = std::make_unique<FnObserver>(
+        [this, job, replica](int step, const engine::Energies& e) {
+          std::string status;
+          {
+            std::lock_guard<std::mutex> lock(job->mu);
+            auto& reg = job->hub.metrics();
+            const std::string prefix = "serve.r" + std::to_string(replica);
+            reg.set(obs::kClusterNode, reg.gauge(prefix + ".step"), step);
+            reg.set(obs::kClusterNode, reg.gauge(prefix + ".energy.total"),
+                    e.total);
+            reg.set(obs::kClusterNode,
+                    reg.gauge(prefix + ".energy.temperature"), e.temperature);
+            reg.add(obs::kClusterNode, reg.counter("serve.samples"));
+            status = job_status_json(*job);
+          }
+          if (auto s = job->subscriber.lock()) {
+            s->send_safe(MsgType::kStatus, status);
+          }
+        });
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->observers.push_back(std::move(observer));
+    return job->observers.back().get();
+  };
+
+  JobResult result;
+  try {
+    result = execute_job(job->id, job->req, &factory);
+  } catch (const std::exception& e) {
+    result.job_id = job->id;
+    result.outcome = JobOutcome::kIncomplete;
+    result.exit_code = job_outcome_exit_code(result.outcome);
+    result.replicas.resize(1);
+    result.replicas[0].label = "r0";
+    result.replicas[0].outcome = JobOutcome::kIncomplete;
+    result.replicas[0].error = e.what();
+  }
+
+  std::string result_json;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    job->state = Job::State::kDone;
+    job->result = result;
+    result_json = result.to_json();
+    // The observers' lambdas capture a shared_ptr back to this job; they
+    // are dead once execute_job returns, and dropping them here breaks
+    // the Job <-> FnObserver ownership cycle so reaped jobs actually free.
+    job->observers.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    finished_order_.push_back(job->id);
+    reap_history_locked();
+  }
+  jobs_completed_.fetch_add(1);
+  if (auto s = job->subscriber.lock()) {
+    s->send_safe(MsgType::kResult, result_json);
+  }
+}
+
+std::string Server::job_status_json(Job& job) {
+  // Caller holds job.mu.
+  const char* state = "queued";
+  if (job.state == Job::State::kRunning) state = "running";
+  if (job.state == Job::State::kDone) state = "done";
+  std::string out = "{\"job\":" + std::to_string(job.id);
+  out += ",\"tenant\":" + json::quoted(job.req.tenant);
+  out += std::string(",\"state\":\"") + state + "\"";
+  out += ",\"metrics\":" + job.hub.metrics().snapshot().to_json();
+  if (job.result) out += ",\"result\":" + job.result->to_json();
+  out += "}";
+  return out;
+}
+
+void Server::handle_query(ConnState& conn, const std::string& payload) {
+  std::string error;
+  const auto parsed = json::parse(payload, &error);
+  const json::Value* id = parsed ? parsed->find("job") : nullptr;
+  if (!id || !id->is_number() || !id->integral || id->integer < 0) {
+    conn.send_safe(MsgType::kRejected,
+                   "{\"reason\":\"bad-request\",\"detail\":\"query needs "
+                   "{\\\"job\\\": id}\"}");
+    return;
+  }
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    const auto it = jobs_.find(static_cast<std::uint64_t>(id->integer));
+    if (it != jobs_.end()) job = it->second;
+  }
+  if (!job) {
+    conn.send_safe(MsgType::kRejected, "{\"reason\":\"unknown-job\"}");
+    return;
+  }
+  std::string status;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    status = job_status_json(*job);
+  }
+  conn.send_safe(MsgType::kStatus, status);
+}
+
+void Server::handle_ping(ConnState& conn) {
+  std::string out = "{\"queued\":" + std::to_string(queue_.queued());
+  out += ",\"running\":" + std::to_string(queue_.running());
+  out += ",\"submitted\":" + std::to_string(jobs_submitted_.load());
+  out += ",\"completed\":" + std::to_string(jobs_completed_.load());
+  out += ",\"rejected\":" + std::to_string(jobs_rejected_.load());
+  out += std::string(",\"draining\":") +
+         (queue_.draining() ? "true" : "false");
+  out += "}";
+  conn.send_safe(MsgType::kPong, out);
+}
+
+void Server::reap_history_locked() {
+  while (finished_order_.size() > config_.result_history) {
+    jobs_.erase(finished_order_.front());
+    finished_order_.pop_front();
+  }
+}
+
+}  // namespace fasda::serve

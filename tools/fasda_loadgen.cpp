@@ -1,0 +1,171 @@
+// fasda_loadgen — concurrent load driver for a running fasda_serve daemon.
+//
+// Spins up --clients threads, each with its own connection and tenant id,
+// and pushes --jobs jobs per client. --mix rotates the job spec across the
+// engine registry (functional / reference / cycle) with varying
+// forcefields and priorities; --crash-one swaps client 0's first job for a
+// supervised cycle job with an induced node crash (crash=1-1000, the
+// smoke-test fault), which must still come back recovered.
+//
+// Exit code: 0 when every job was admitted (after queue-full/tenant-quota
+// retries) and completed with its expected outcome; 1 otherwise. The CI
+// serve-soak job runs this against a draining daemon under sanitizers.
+//
+// Usage:
+//   fasda_loadgen --port P [--host 127.0.0.1] [--clients 4] [--jobs 8]
+//                 [--mix] [--crash-one] [--replicas 2] [--steps 4]
+//                 [--tenant load] [--retries 50]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fasda/serve/client.hpp"
+#include "fasda/util/cli.hpp"
+#include "fasda/util/stopwatch.hpp"
+
+using namespace fasda;
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int clients = 4;
+  int jobs = 8;
+  bool mix = false;
+  bool crash_one = false;
+  int replicas = 2;
+  int steps = 4;
+  std::string tenant = "load";
+  int retries = 50;
+};
+
+serve::JobRequest job_for(const Options& opt, int client, int index) {
+  serve::JobRequest req;
+  req.tenant = opt.tenant + std::to_string(client);
+  req.replicas = opt.replicas;
+  req.steps = opt.steps;
+  req.sample = 2;
+  req.space = "333";
+  req.per_cell = 8;
+  req.seed = 0x5eed + static_cast<std::uint64_t>(client) * 1000 +
+             static_cast<std::uint64_t>(index);
+  req.batch_workers = 2;
+  if (opt.mix) {
+    static const char* kEngines[] = {"functional", "reference", "cycle"};
+    req.engine = kEngines[(client + index) % 3];
+    req.forcefield = (index % 2 == 0) ? "na" : "nacl";
+    req.priority = index % 3;
+  }
+  if (opt.crash_one && client == 0 && index == 0) {
+    // The smoke-test crash workload: node 1 dies at cycle 1000 and the
+    // supervisor rolls back and replays. Must complete (recovered).
+    req.engine = "cycle";
+    req.space = "444";
+    req.per_cell = 4;
+    req.steps = 3;
+    req.sample = 0;
+    req.cells = "222";
+    req.faults = "crash=1-1000";
+    req.supervise = true;
+    req.replicas = 1;
+    req.forcefield = "na";
+  }
+  return req;
+}
+
+bool outcome_ok(const Options& opt, int client, int index,
+                const serve::JobResult& result) {
+  if (opt.crash_one && client == 0 && index == 0) {
+    // Recovered (ok) or completed-degraded both count as a clean recovery.
+    return result.outcome == serve::JobOutcome::kOk ||
+           result.outcome == serve::JobOutcome::kDegraded;
+  }
+  return result.outcome == serve::JobOutcome::kOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  Options opt;
+  opt.host = cli.get_or("host", opt.host);
+  opt.port = static_cast<std::uint16_t>(cli.get_or("port", 0L));
+  opt.clients = static_cast<int>(cli.get_or("clients", 4L));
+  opt.jobs = static_cast<int>(cli.get_or("jobs", 8L));
+  opt.mix = cli.has("mix");
+  opt.crash_one = cli.has("crash-one");
+  opt.replicas = static_cast<int>(cli.get_or("replicas", 2L));
+  opt.steps = static_cast<int>(cli.get_or("steps", 4L));
+  opt.tenant = cli.get_or("tenant", opt.tenant);
+  opt.retries = static_cast<int>(cli.get_or("retries", 50L));
+  if (opt.port == 0) {
+    std::fprintf(stderr, "fasda_loadgen: --port is required\n");
+    return 1;
+  }
+
+  std::atomic<int> completed{0};
+  std::atomic<int> failed{0};
+  std::atomic<int> retried{0};
+  util::Stopwatch wall;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(opt.clients));
+  for (int c = 0; c < opt.clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        serve::Client client(opt.host, opt.port);
+        for (int j = 0; j < opt.jobs; ++j) {
+          const serve::JobRequest req = job_for(opt, c, j);
+          serve::Client::SubmitReply reply;
+          int attempts = 0;
+          for (;;) {
+            reply = client.submit(req);
+            if (reply.accepted) break;
+            if ((reply.reason == "queue-full" ||
+                 reply.reason == "tenant-quota") &&
+                attempts++ < opt.retries) {
+              retried.fetch_add(1);
+              std::this_thread::sleep_for(std::chrono::milliseconds(20));
+              continue;
+            }
+            break;
+          }
+          if (!reply.accepted) {
+            std::fprintf(stderr,
+                         "fasda_loadgen: client %d job %d rejected: %s %s\n",
+                         c, j, reply.reason.c_str(), reply.detail.c_str());
+            failed.fetch_add(1);
+            continue;
+          }
+          const serve::JobResult result = client.wait_result(reply.job_id);
+          if (outcome_ok(opt, c, j, result)) {
+            completed.fetch_add(1);
+          } else {
+            std::fprintf(
+                stderr, "fasda_loadgen: client %d job %d outcome %s\n", c, j,
+                serve::job_outcome_name(result.outcome));
+            failed.fetch_add(1);
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "fasda_loadgen: client %d: %s\n", c, e.what());
+        failed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const double seconds = wall.seconds();
+  const int total = opt.clients * opt.jobs;
+  std::printf(
+      "fasda_loadgen: %d/%d jobs ok, %d failed, %d admission retries, "
+      "%.2f s, %.2f jobs/s\n",
+      completed.load(), total, failed.load(), retried.load(), seconds,
+      seconds > 0 ? completed.load() / seconds : 0.0);
+  return failed.load() == 0 && completed.load() == total ? 0 : 1;
+}
