@@ -26,6 +26,20 @@
 
 namespace fasda::serve {
 
+/// Admission resource caps (enforced by JobRequest::validate, so an
+/// over-budget submit is a typed bad-request, never an allocation). The
+/// daemon is shared across a trust boundary: without these, one request
+/// for a huge space × per_cell × replicas product would OOM-kill every
+/// tenant's jobs at make_replica_state time.
+inline constexpr long long kMaxCellsPerAxis = 1024;
+inline constexpr std::uint64_t kMaxSpaceCells = 1ull << 20;
+inline constexpr std::uint64_t kMaxReplicaParticles = 1ull << 22;
+inline constexpr std::uint64_t kMaxJobParticles = 1ull << 24;
+/// return_state ships ~98 hex chars per particle in one kResult frame;
+/// this keeps the worst-case result comfortably under wire.hpp's
+/// 16 MiB kMaxFrameBytes (2^17 × 98 ≈ 12.3 MiB plus JSON overhead).
+inline constexpr std::uint64_t kMaxReturnStateParticles = 1ull << 17;
+
 /// One submitted job: a tenant, scheduling hints, the generated workload,
 /// and the engine configuration for every replica of the ensemble.
 struct JobRequest {

@@ -38,6 +38,12 @@ struct ServerConfig {
   QueueConfig queue;
   std::size_t result_history = 256;  ///< finished jobs kept for kQuery
   int recv_timeout_seconds = 600;    ///< per-connection read timeout
+  /// Per-connection write timeout. A tenant that submits and then stops
+  /// reading would otherwise block a queue worker forever inside a
+  /// kStatus/kResult push once its TCP buffer fills; after this many
+  /// seconds the send fails, the connection is marked dead and the job
+  /// finishes without it.
+  int send_timeout_seconds = 30;
 };
 
 class Server {
@@ -71,6 +77,10 @@ class Server {
   std::uint64_t jobs_rejected() const { return jobs_rejected_.load(); }
   std::size_t queue_depth() const { return queue_.queued(); }
   std::size_t jobs_running() const { return queue_.running(); }
+  /// Live (not yet reaped) connections. A closed connection removes
+  /// itself, so this returns to 0 once every client is gone — the
+  /// long-running daemon never accumulates dead fds or threads.
+  std::size_t connections() const;
 
   /// Installs a SIGTERM + SIGINT handler that routes to `server`'s drain
   /// pipe (async-signal-safe write). Pass nullptr to restore the previous
@@ -92,6 +102,8 @@ class Server {
 
   void accept_loop();
   void connection_loop(std::shared_ptr<ConnState> conn);
+  void reap_connection(std::uint64_t conn_id);
+  void join_finished_conn_threads();
   void handle_submit(ConnState& conn, const std::string& payload);
   void handle_query(ConnState& conn, const std::string& payload);
   void handle_ping(ConnState& conn);
@@ -109,9 +121,16 @@ class Server {
   JobQueue queue_;
   std::thread accept_thread_;
 
-  std::mutex conns_mu_;
-  std::vector<std::shared_ptr<ConnState>> conns_;
-  std::vector<std::thread> conn_threads_;
+  // Connection registry. A connection_loop thread reaps itself on exit:
+  // it erases its ConnState (dropping the last long-lived reference, which
+  // closes the fd) and parks its joinable std::thread handle on
+  // finished_conn_threads_, which the acceptor (and stop()) joins. A
+  // long-running daemon therefore holds fds/threads only for live clients.
+  mutable std::mutex conns_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<ConnState>> conns_;
+  std::unordered_map<std::uint64_t, std::thread> conn_threads_;
+  std::vector<std::thread> finished_conn_threads_;
+  std::uint64_t next_conn_id_ = 1;
 
   std::mutex jobs_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;

@@ -86,8 +86,26 @@ inline const char* decode_status_name(DecodeStatus s) {
   return "unknown";
 }
 
+/// Socket-level failure: peer closed, syscall error, send/recv timeout.
+/// Protocol violations are NOT exceptions — they come back as DecodeStatus
+/// so the server can answer with a typed kError frame before closing.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what)
+      : std::runtime_error("serve: " + what) {}
+};
+
 inline std::vector<std::uint8_t> encode_frame(MsgType type,
                                               std::string_view payload) {
+  // Enforce the cap on the sending side too: an oversized payload must
+  // fail loudly here, not poison the peer's decoder with kBadLength (or,
+  // past 4 GiB, silently wrap the u32 length prefix and desync the
+  // stream). Admission caps (job.hpp) keep legitimate results under this.
+  if (payload.size() > kMaxFrameBytes - 1) {
+    throw WireError("frame payload of " + std::to_string(payload.size()) +
+                    " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+                    "-byte frame cap");
+  }
   const std::uint32_t length = static_cast<std::uint32_t>(payload.size()) + 1;
   const std::uint8_t type_byte = static_cast<std::uint8_t>(type);
   util::Crc32 crc;
@@ -171,15 +189,6 @@ class FrameDecoder {
   DecodeStatus poisoned_ = DecodeStatus::kFrame;
 };
 
-/// Socket-level failure: peer closed, syscall error, recv timeout. Protocol
-/// violations are NOT exceptions — they come back as DecodeStatus so the
-/// server can answer with a typed kError frame before closing.
-class WireError : public std::runtime_error {
- public:
-  explicit WireError(const std::string& what)
-      : std::runtime_error("serve: " + what) {}
-};
-
 /// One serve connection. Owns the fd; move-only. send() writes whole
 /// frames; recv() blocks until one frame (or a protocol error) is
 /// available. Both ends use this class — the framing is symmetric.
@@ -224,6 +233,16 @@ class Conn {
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   }
 
+  /// Bounds every blocking send: a peer that stops reading makes send()
+  /// throw WireError after `seconds` instead of holding the sending thread
+  /// (a queue worker, on the server) forever once its TCP buffer fills.
+  void set_send_timeout(int seconds) {
+    if (fd_ < 0) return;
+    timeval tv{};
+    tv.tv_sec = seconds;
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
+
   void send(MsgType type, std::string_view payload) {
     const std::vector<std::uint8_t> buf = encode_frame(type, payload);
     write_all(buf.data(), buf.size());
@@ -262,6 +281,11 @@ class Conn {
       const ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // SO_SNDTIMEO expired: the peer stopped reading. The frame may
+          // be half-written, so the stream is dead either way.
+          throw WireError("send timed out");
+        }
         throw WireError(std::string("send failed: ") + std::strerror(errno));
       }
       p += n;

@@ -305,6 +305,41 @@ std::string JobRequest::validate() const {
     if (dims.x < 3 || dims.y < 3 || dims.z < 3) {
       return "space: needs at least 3 cells per dimension";
     }
+    // Resource caps: bound what one admitted job may allocate before the
+    // product arithmetic below can overflow (axes <= 1024 keeps the cell
+    // product <= 2^30 in uint64).
+    if (dims.x > kMaxCellsPerAxis || dims.y > kMaxCellsPerAxis ||
+        dims.z > kMaxCellsPerAxis) {
+      return "space: at most " + std::to_string(kMaxCellsPerAxis) +
+             " cells per axis";
+    }
+    const std::uint64_t cells_total = static_cast<std::uint64_t>(dims.x) *
+                                      static_cast<std::uint64_t>(dims.y) *
+                                      static_cast<std::uint64_t>(dims.z);
+    if (cells_total > kMaxSpaceCells) {
+      return "space: " + std::to_string(cells_total) +
+             " cells exceeds the per-job cap of " +
+             std::to_string(kMaxSpaceCells);
+    }
+    const std::uint64_t replica_particles =
+        cells_total * static_cast<std::uint64_t>(per_cell);
+    if (replica_particles > kMaxReplicaParticles) {
+      return "space*per_cell: " + std::to_string(replica_particles) +
+             " particles per replica exceeds the cap of " +
+             std::to_string(kMaxReplicaParticles);
+    }
+    const std::uint64_t job_particles =
+        replica_particles * static_cast<std::uint64_t>(replicas);
+    if (job_particles > kMaxJobParticles) {
+      return "space*per_cell*replicas: " + std::to_string(job_particles) +
+             " particles exceeds the per-job cap of " +
+             std::to_string(kMaxJobParticles);
+    }
+    if (return_state && job_particles > kMaxReturnStateParticles) {
+      return "return_state: " + std::to_string(job_particles) +
+             " particles would not fit one result frame (cap " +
+             std::to_string(kMaxReturnStateParticles) + ")";
+    }
   } catch (const std::invalid_argument& e) {
     return std::string("space: ") + e.what();
   }

@@ -105,28 +105,31 @@ void JobQueue::wait_idle() {
 }
 
 void JobQueue::stop() {
+  // Claim the worker handles under the lock: concurrent or re-entrant
+  // stop() callers (Server::stop then ~JobQueue) each take their own
+  // disjoint set, so no thread is ever observed — let alone joined — by
+  // two callers.
+  std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopped_) {
-      // Already stopped; workers may still be joining below on the first
-      // caller's thread, so only the first stop() joins.
-    }
-    stopped_ = true;
-    draining_ = true;
-    for (const Entry& e : pending_) {
-      auto it = tenant_load_.find(e.tenant);
-      if (it != tenant_load_.end() && --it->second == 0) {
-        tenant_load_.erase(it);
+    if (!stopped_) {
+      stopped_ = true;
+      draining_ = true;
+      for (const Entry& e : pending_) {
+        auto it = tenant_load_.find(e.tenant);
+        if (it != tenant_load_.end() && --it->second == 0) {
+          tenant_load_.erase(it);
+        }
       }
+      pending_.clear();
+      cv_work_.notify_all();
+      cv_idle_.notify_all();
     }
-    pending_.clear();
-    cv_work_.notify_all();
-    cv_idle_.notify_all();
+    workers.swap(workers_);
   }
-  for (std::thread& t : workers_) {
+  for (std::thread& t : workers) {
     if (t.joinable()) t.join();
   }
-  workers_.clear();
 }
 
 std::size_t JobQueue::queued() const {

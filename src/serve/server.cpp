@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <utility>
@@ -52,8 +53,9 @@ class FnObserver final : public engine::StepObserver {
 /// socket failure (client vanished mid-job) to a dead flag — the job keeps
 /// running and is reaped normally.
 struct Server::ConnState {
-  explicit ConnState(Conn c) : conn(std::move(c)) {}
+  ConnState(std::uint64_t i, Conn c) : id(i), conn(std::move(c)) {}
 
+  const std::uint64_t id;
   Conn conn;
   std::mutex send_mu;
   std::atomic<bool> alive{true};
@@ -127,14 +129,17 @@ void Server::stop() {
     listen_fd_ = -1;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::shared_ptr<ConnState>> conns;
+  std::unordered_map<std::uint64_t, std::shared_ptr<ConnState>> conns;
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns.swap(conns_);
-    threads.swap(conn_threads_);
+    for (auto& [id, t] : conn_threads_) threads.push_back(std::move(t));
+    conn_threads_.clear();
+    for (std::thread& t : finished_conn_threads_) threads.push_back(std::move(t));
+    finished_conn_threads_.clear();
   }
-  for (const auto& c : conns) c->conn.shutdown_both();
+  for (const auto& [id, c] : conns) c->conn.shutdown_both();
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
   }
@@ -182,10 +187,30 @@ void Server::install_signal_drain(Server* server) {
 
 void Server::accept_loop() {
   for (;;) {
+    join_finished_conn_threads();
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listen socket closed by stop()
+      const int err = errno;
+      if (err == EINTR) continue;
+      if (stopping_.load()) return;  // listen socket closed by stop()
+      switch (err) {
+        // Transient: the peer hung up mid-handshake, or the process/system
+        // is briefly out of fds or buffers. A daemon must keep accepting —
+        // self-reaping connections release fds, so exhaustion clears.
+        case ECONNABORTED:
+        case EMFILE:
+        case ENFILE:
+        case ENOBUFS:
+        case ENOMEM:
+        case EAGAIN:
+#if EAGAIN != EWOULDBLOCK
+        case EWOULDBLOCK:
+#endif
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          continue;
+        default:
+          return;  // the listen socket itself is broken
+      }
     }
     if (stopping_.load()) {
       ::close(fd);
@@ -193,12 +218,13 @@ void Server::accept_loop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    auto conn = std::make_shared<ConnState>(Conn(fd));
-    conn->conn.set_recv_timeout(config_.recv_timeout_seconds);
     std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.push_back(conn);
-    conn_threads_.emplace_back(
-        [this, conn] { connection_loop(std::move(conn)); });
+    auto conn = std::make_shared<ConnState>(next_conn_id_++, Conn(fd));
+    conn->conn.set_recv_timeout(config_.recv_timeout_seconds);
+    conn->conn.set_send_timeout(config_.send_timeout_seconds);
+    conns_.emplace(conn->id, conn);
+    conn_threads_.emplace(
+        conn->id, std::thread([this, conn] { connection_loop(std::move(conn)); }));
   }
 }
 
@@ -230,13 +256,44 @@ void Server::connection_loop(std::shared_ptr<ConnState> conn) {
         conn->send_safe(MsgType::kError,
                         "{\"reason\":\"unexpected-type\"}");
         conn->alive.store(false);
-        conn->conn.shutdown_both();
-        return;
+        break;
     }
     if (!conn->alive.load()) break;
   }
   conn->alive.store(false);
   conn->conn.shutdown_both();
+  reap_connection(conn->id);
+  // `conn` (this thread's shared_ptr) is the last long-lived reference;
+  // releasing it on return closes the fd. A job thread mid-push may hold
+  // a transient reference a moment longer — never past its send timeout.
+}
+
+void Server::reap_connection(std::uint64_t conn_id) {
+  // Runs on the connection's own thread: move the (still running) thread
+  // handle to the finished list — anyone may join it except this thread.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(conn_id);
+  const auto it = conn_threads_.find(conn_id);
+  if (it != conn_threads_.end()) {
+    finished_conn_threads_.push_back(std::move(it->second));
+    conn_threads_.erase(it);
+  }
+}
+
+void Server::join_finished_conn_threads() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    finished.swap(finished_conn_threads_);
+  }
+  for (std::thread& t : finished) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t Server::connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
 }
 
 void Server::handle_submit(ConnState& conn, const std::string& payload) {
@@ -265,12 +322,8 @@ void Server::handle_submit(ConnState& conn, const std::string& payload) {
   std::shared_ptr<ConnState> self;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
-    for (const auto& c : conns_) {
-      if (c.get() == &conn) {
-        self = c;
-        break;
-      }
-    }
+    const auto it = conns_.find(conn.id);
+    if (it != conns_.end()) self = it->second;
   }
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);

@@ -375,6 +375,62 @@ TEST(ServeFaults, SigtermDrainsGracefully) {
   EXPECT_EQ(server.jobs_completed(), 2u);
 }
 
+// A long-running daemon must not accumulate dead connections: each closed
+// client's fd and thread are reaped, and the acceptor keeps accepting.
+TEST(ServeFaults, ClosedConnectionsAreReaped) {
+  ServerConfig config = test_config();
+  config.queue_workers = 1;
+  Server server(config);
+  server.start();
+
+  for (int round = 0; round < 8; ++round) {
+    Client client("127.0.0.1", server.port());
+    std::string error;
+    ASSERT_TRUE(json::parse(client.ping(), &error).has_value()) << error;
+    // Client destructor closes the socket; the connection thread notices,
+    // removes itself from the registry and parks its handle for joining.
+  }
+  std::size_t live = 1;
+  for (int i = 0; i < 500 && live != 0; ++i) {
+    live = server.connections();
+    if (live != 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(live, 0u);
+
+  // And the daemon still serves fresh connections afterwards.
+  Client again("127.0.0.1", server.port());
+  JobRequest req = small_functional_job();
+  req.replicas = 1;
+  const auto outcome = again.run_job(req);
+  ASSERT_TRUE(outcome.reply.accepted);
+  EXPECT_EQ(outcome.result->outcome, JobOutcome::kOk);
+  server.drain_and_stop();
+}
+
+// A peer that stops reading cannot hold a sending thread forever: with a
+// send timeout armed, the blocking send surfaces as WireError once the
+// TCP buffers fill (this is what frees a queue worker from a tenant that
+// submits a job and then never drains its kStatus/kResult pushes).
+TEST(ServeFaults, SendTimesOutWhenPeerStopsReading) {
+  auto [listen_fd, port] = listen_on("127.0.0.1", 0);
+  Conn sender = dial("127.0.0.1", port);
+  const int peer_fd = ::accept(listen_fd, nullptr, nullptr);
+  ASSERT_GE(peer_fd, 0);
+  Conn peer(peer_fd);  // never reads
+  int small = 4096;
+  ::setsockopt(sender.fd(), SOL_SOCKET, SO_SNDBUF, &small, sizeof small);
+  sender.set_send_timeout(1);
+  const std::string payload(1u << 20, 'x');
+  EXPECT_THROW(
+      {
+        // Far more than any kernel default buffering; must throw, not hang
+        // (the ctest TIMEOUT backstop would catch a regression to forever).
+        for (int i = 0; i < 64; ++i) sender.send(MsgType::kStatus, payload);
+      },
+      WireError);
+  ::close(listen_fd);
+}
+
 // kPing reports live server stats.
 TEST(ServeFaults, PingReportsServerStats) {
   ServerConfig config = test_config();
@@ -539,6 +595,21 @@ TEST(ServeWireFuzz, UnknownTypeWithValidCrcIsBadType) {
   EXPECT_EQ(decoder.next(f), DecodeStatus::kBadType);
 }
 
+TEST(ServeWireFuzz, EncodeEnforcesTheFrameCap) {
+  // The largest legal payload round-trips...
+  const std::string max_ok(kMaxFrameBytes - 1, 'a');
+  const auto buf = encode_frame(MsgType::kStatus, max_ok);
+  FrameDecoder decoder;
+  decoder.feed(buf.data(), buf.size());
+  WireFrame f;
+  ASSERT_EQ(decoder.next(f), DecodeStatus::kFrame);
+  EXPECT_EQ(f.payload.size(), max_ok.size());
+  // ...and one byte more fails loudly on the sending side instead of
+  // poisoning the peer's decoder with kBadLength.
+  const std::string too_big(kMaxFrameBytes, 'a');
+  EXPECT_THROW(encode_frame(MsgType::kStatus, too_big), WireError);
+}
+
 TEST(ServeWireFuzz, ProtocolErrorsPoisonTheStream) {
   auto bad = encode_frame(MsgType::kPing, "{}");
   bad[8] ^= 0xff;  // corrupt -> kBadCrc
@@ -617,6 +688,27 @@ TEST(ServeQueue, WorkersDrainABacklogExactlyOnce) {
   queue.wait_idle();
   EXPECT_EQ(ran.load(), 64);
   queue.stop();
+}
+
+// stop() must be safe to call concurrently and repeatedly (Server::stop
+// then ~JobQueue is the everyday sequence): only one caller joins any
+// given worker thread.
+TEST(ServeQueue, ConcurrentAndRepeatedStopIsSafe) {
+  JobQueue queue(QueueConfig{});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(queue.submit("t", 0, [&ran] { ++ran; }).status,
+              Admit::kAdmitted);
+  }
+  queue.start_workers(2);
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&queue] { queue.stop(); });
+  }
+  for (std::thread& t : stoppers) t.join();
+  queue.stop();  // sequential re-entry (the destructor will be one more)
+  EXPECT_EQ(queue.submit("t", 0, [] {}).status, Admit::kStopped);
+  EXPECT_LE(ran.load(), 8);
 }
 
 TEST(ServeJson, ParsesAndNavigatesObjects) {
@@ -704,6 +796,41 @@ TEST(ServeJob, ValidateCatchesBadSpecs) {
   req = small_functional_job();
   req.tenant = "";
   EXPECT_FALSE(req.validate().empty());
+}
+
+// The admission resource caps: a hostile (or fat-fingered) submit cannot
+// commission an allocation that would OOM the shared daemon — each budget
+// overrun is a typed bad-request at validate() time.
+TEST(ServeJob, ValidateCapsResourceBudgets) {
+  JobRequest req = small_functional_job();
+  req.return_state = false;
+  req.space = "2000x3x3";
+  EXPECT_NE(req.validate().find("per axis"), std::string::npos);
+
+  req.space = "1024x1024x3";  // 3.1M cells > kMaxSpaceCells
+  EXPECT_NE(req.validate().find("cells exceeds"), std::string::npos);
+
+  req.space = "512x512x4";  // exactly kMaxSpaceCells: fine on its own
+  req.per_cell = 8;         // ...but 2^23 particles per replica is not
+  EXPECT_NE(req.validate().find("per replica"), std::string::npos);
+
+  req = small_functional_job();
+  req.return_state = false;
+  req.per_cell = 512;    // 13824 particles per 333 replica
+  req.replicas = 65536;  // ~906M particles total
+  EXPECT_NE(req.validate().find("space*per_cell*replicas"),
+            std::string::npos);
+
+  req = small_functional_job();  // 108 particles per replica
+  req.replicas = 65536;          // ~7M total: under the job cap...
+  ASSERT_TRUE(req.return_state);  // ...but far over one result frame
+  EXPECT_NE(req.validate().find("return_state"), std::string::npos);
+  req.return_state = false;
+  EXPECT_EQ(req.validate(), "");
+
+  // The shipped workloads stay comfortably inside every budget.
+  EXPECT_EQ(small_functional_job().validate(), "");
+  EXPECT_EQ(small_cycle_job().validate(), "");
 }
 
 TEST(ServeJob, OutcomeTaxonomyMatchesExitCodes) {

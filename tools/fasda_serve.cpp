@@ -10,6 +10,7 @@
 // Usage:
 //   fasda_serve [--host 127.0.0.1] [--port 0] [--queue-workers 2]
 //               [--queue-cap 256] [--tenant-quota 0] [--recv-timeout 600]
+//               [--send-timeout 30]
 //
 // --port 0 binds an ephemeral port; the actual port is announced on stdout
 // as "fasda_serve: listening on HOST:PORT" so harnesses can parse it.
@@ -28,7 +29,7 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: fasda_serve [--host ADDR] [--port P] [--queue-workers N]\n"
         "                   [--queue-cap N] [--tenant-quota N]\n"
-        "                   [--recv-timeout SECONDS]\n");
+        "                   [--recv-timeout SECONDS] [--send-timeout SECONDS]\n");
     return 0;
   }
 
@@ -43,6 +44,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_or("tenant-quota", 0L));
   config.recv_timeout_seconds =
       static_cast<int>(cli.get_or("recv-timeout", 600L));
+  config.send_timeout_seconds =
+      static_cast<int>(cli.get_or("send-timeout", 30L));
 
   serve::Server server(config);
   try {
