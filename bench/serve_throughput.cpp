@@ -13,8 +13,17 @@
 // Usage:
 //   serve_throughput [--clients 4] [--jobs 64] [--replicas 8] [--steps 2]
 //                    [--queue-workers 2] [--out FILE] [--date YYYY-MM-DD]
+//                    [--state-dir DIR] [--journal-fsync always|never]
+//
+// --state-dir turns on the write-ahead journal (DESIGN.md §16) so the
+// bench doubles as a measurement of the durability tax: every admission
+// and completion appends (and, with --journal-fsync always, fsyncs) a
+// journal record on the submit/complete path. Compare runs with no state
+// dir, --journal-fsync never, and --journal-fsync always to price the
+// exactly-once guarantee.
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -38,13 +47,26 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_or("queue-workers", 2L));
   const std::string out_path = cli.get_or("out", "");
   const std::string date = cli.get_or("date", "unknown");
+  const std::string state_dir = cli.get_or("state-dir", "");
+  const std::string fsync_policy = cli.get_or("journal-fsync", "always");
+  if (fsync_policy != "always" && fsync_policy != "never") {
+    std::fprintf(stderr, "bench: --journal-fsync must be always|never\n");
+    return 2;
+  }
 
   serve::ServerConfig config;
   config.queue_workers = queue_workers;
   config.queue.capacity =
       static_cast<std::size_t>(clients) * static_cast<std::size_t>(jobs) + 16;
+  config.state_dir = state_dir;
+  config.journal_fsync = fsync_policy == "never"
+                             ? serve::JournalFsync::kNever
+                             : serve::JournalFsync::kAlways;
   serve::Server server(config);
   server.start();
+  while (server.recovering()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 
   std::atomic<int> ok{0};
   std::atomic<int> failed{0};
@@ -109,6 +131,7 @@ int main(int argc, char** argv) {
       "    \"hardware_concurrency\": %u\n"
       "  },\n"
       "  \"results\": {\n"
+      "    \"journal\": \"%s\",\n"
       "    \"jobs\": %d,\n"
       "    \"jobs_ok\": %d,\n"
       "    \"jobs_failed\": %d,\n"
@@ -119,7 +142,9 @@ int main(int argc, char** argv) {
       "  }\n"
       "}\n",
       date.c_str(), clients, jobs, replicas, steps, queue_workers,
-      std::thread::hardware_concurrency(), total, ok.load(), failed.load(),
+      std::thread::hardware_concurrency(),
+      state_dir.empty() ? "off" : fsync_policy.c_str(), total, ok.load(),
+      failed.load(),
       total * replicas, seconds, seconds > 0 ? total / seconds : 0.0,
       seconds > 0 ? total * replicas / seconds : 0.0);
   std::fputs(json, stdout);

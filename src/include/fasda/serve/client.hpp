@@ -5,6 +5,7 @@
 // connection, so run_job() can submit and then just read frames until the
 // result lands, counting status pushes along the way.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -15,9 +16,46 @@
 
 namespace fasda::serve {
 
+/// Bounded reconnect policy for riding out a daemon restart window
+/// (DESIGN.md §16): attempt k sleeps backoff_initial * 2^(k-1), capped.
+/// Only connection-level failures with a retryable errno (ECONNREFUSED,
+/// ECONNRESET, ECONNABORTED, ETIMEDOUT) are retried — a bad address or
+/// any other hard error throws immediately.
+struct RetryPolicy {
+  int max_attempts = 10;
+  std::chrono::milliseconds backoff_initial{50};
+  std::chrono::milliseconds backoff_cap{2000};
+};
+
+/// The typed give-up: every attempt the policy allowed failed with a
+/// retryable errno. Carries the attempt count so callers (loadgen) can
+/// report how long they waited out the restart window.
+class RetryGiveUpError : public WireError {
+ public:
+  RetryGiveUpError(const std::string& what, int attempts)
+      : WireError(what), attempts_(attempts) {}
+  int attempts() const { return attempts_; }
+
+ private:
+  int attempts_;
+};
+
 class Client {
  public:
   Client(const std::string& host, std::uint16_t port);
+  /// Connects with bounded retry-with-backoff: a daemon mid-restart
+  /// (ECONNREFUSED) is retried per `policy` instead of failing the first
+  /// dial; throws RetryGiveUpError once the attempts are spent.
+  Client(const std::string& host, std::uint16_t port,
+         const RetryPolicy& policy);
+
+  /// Drops the current connection and re-dials with the constructor's
+  /// policy. Results already buffered from the old connection survive;
+  /// jobs in flight on the old connection must be resubmitted (use an
+  /// idempotency key so the server attaches instead of double-running).
+  void reconnect();
+
+  static bool errno_retryable(int err);
 
   struct SubmitReply {
     bool accepted = false;
@@ -59,6 +97,9 @@ class Client {
   bool absorb_push(const WireFrame& frame);
 
   Conn conn_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  RetryPolicy policy_;
   std::unordered_map<std::uint64_t, JobResult> results_;
   std::unordered_map<std::uint64_t, int> status_counts_;
 };

@@ -16,8 +16,11 @@
 // decimal floats.
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fasda/engine/batch_runner.hpp"
@@ -44,6 +47,11 @@ inline constexpr std::uint64_t kMaxReturnStateParticles = 1ull << 17;
 /// and the engine configuration for every replica of the ensemble.
 struct JobRequest {
   std::string tenant = "default";
+  /// Client-chosen dedup key (<= 128 chars; "" = none). A durable server
+  /// remembers key -> job id across restarts, so resubmitting after an
+  /// ambiguous crash (kAccepted lost in flight) attaches to the original
+  /// job instead of double-running it (DESIGN.md §16).
+  std::string idempotency;
   int priority = 0;    ///< higher runs first; ties break by arrival seq
   int replicas = 1;    ///< ensemble width; replica r gets seed + r
   int steps = 10;      ///< timesteps per replica
@@ -158,7 +166,29 @@ md::SystemState make_replica_state(const JobRequest& req, int replica);
 /// supervisor::Supervisor; everything else goes through BatchRunner.
 using ReplicaObserverFactory =
     std::function<engine::StepObserver*(int replica)>;
+
+/// Durability hand-off between execute_job and the serve journal
+/// (DESIGN.md §16). Only supervised jobs participate: the supervisor is
+/// the layer that banks checkpoints, so non-supervised jobs recover by
+/// deterministic re-run from scratch instead.
+struct ExecutionHooks {
+  /// Step-stamped checkpoint file for (replica, absolute step); "" skips
+  /// the save. The supervisor writes the file (atomic tmp+rename) BEFORE
+  /// `checkpointed` fires for the same step.
+  std::function<std::string(int replica, long long step)> checkpoint_path;
+  /// Called after the checkpoint file for (replica, absolute step) is
+  /// durable — the journal appends its kCheckpoint record here.
+  std::function<void(int replica, long long step)> checkpointed;
+  /// Resume points: replica -> (banked step, checkpointed state). A listed
+  /// replica restarts from that state and runs the remaining steps; its
+  /// observers and result report absolute steps, so the output is bitwise
+  /// identical to an uninterrupted run (the PR 4 supervisor guarantee
+  /// lifted through the serve boundary).
+  std::map<int, std::pair<long long, md::SystemState>> resume;
+};
+
 JobResult execute_job(std::uint64_t job_id, const JobRequest& req,
-                      const ReplicaObserverFactory* observers = nullptr);
+                      const ReplicaObserverFactory* observers = nullptr,
+                      const ExecutionHooks* hooks = nullptr);
 
 }  // namespace fasda::serve

@@ -66,6 +66,15 @@ class JobQueue {
   Ticket submit(const std::string& tenant, int priority,
                 std::function<void()> work);
 
+  /// Recovery-path enqueue (DESIGN.md §16): the work was already admitted
+  /// and acknowledged by a previous daemon incarnation, so capacity,
+  /// tenant-quota, and draining checks do not apply — refusing would drop
+  /// an acknowledged job. Still charges tenant load and still refuses
+  /// after stop(). Callers enqueue in original journal order, so the
+  /// (priority, seq) pop order reproduces the pre-crash schedule.
+  Ticket readmit(const std::string& tenant, int priority,
+                 std::function<void()> work);
+
   /// Pops and runs the highest-priority entry on the calling thread.
   /// Returns false when nothing was queued.
   bool try_run_one();
@@ -102,6 +111,8 @@ class JobQueue {
     }
   };
 
+  Ticket enqueue_locked(const std::string& tenant, int priority,
+                        std::function<void()> work);
   bool pop_locked(Entry& out);
   void run_entry(Entry entry);
   void worker_loop();

@@ -26,6 +26,7 @@
 
 #include "fasda/obs/obs.hpp"
 #include "fasda/serve/job.hpp"
+#include "fasda/serve/journal.hpp"
 #include "fasda/serve/queue.hpp"
 #include "fasda/serve/wire.hpp"
 
@@ -44,6 +45,19 @@ struct ServerConfig {
   /// seconds the send fails, the connection is marked dead and the job
   /// finishes without it.
   int send_timeout_seconds = 30;
+  /// Durability root (DESIGN.md §16): "" keeps the PR 8 behavior (all
+  /// state dies with the process). Non-empty names a directory holding
+  /// the write-ahead journal + step-stamped supervisor checkpoints; on
+  /// start() the journal is replayed, lost queued jobs are re-admitted in
+  /// original order, interrupted supervised jobs resume from their last
+  /// checkpoint, and completed results answer kQuery again.
+  std::string state_dir;
+  JournalFsync journal_fsync = JournalFsync::kAlways;
+  /// Compact (rotate) the journal when it grows past this many bytes.
+  std::size_t journal_rotate_bytes = 4u << 20;
+  /// Test hook: hold the kRecovering window open this long before replay
+  /// so tests can observe the recovering protocol deterministically.
+  int recovery_delay_ms = 0;
 };
 
 class Server {
@@ -75,6 +89,17 @@ class Server {
   std::uint64_t jobs_submitted() const { return jobs_submitted_.load(); }
   std::uint64_t jobs_completed() const { return jobs_completed_.load(); }
   std::uint64_t jobs_rejected() const { return jobs_rejected_.load(); }
+  /// True while startup replay runs; kSubmit/kQuery answer kRecovering.
+  bool recovering() const { return recovering_.load(); }
+  /// Jobs this incarnation re-admitted from the journal (lost by a crash).
+  std::uint64_t jobs_recovered() const { return jobs_recovered_.load(); }
+  /// Re-admitted supervised jobs that resumed from a banked checkpoint.
+  std::uint64_t jobs_resumed() const { return jobs_resumed_.load(); }
+  /// Completed results restored from the journal for kQuery.
+  std::uint64_t results_restored() const { return results_restored_.load(); }
+  /// The startup scan's report (valid after start(); empty without a
+  /// state_dir).
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
   std::size_t queue_depth() const { return queue_.queued(); }
   std::size_t jobs_running() const { return queue_.running(); }
   /// Live (not yet reaped) connections. A closed connection removes
@@ -111,6 +136,25 @@ class Server {
   std::string job_status_json(Job& job);
   void reap_history_locked();
 
+  // Durability plumbing (all no-ops without a state_dir).
+  bool journal_enabled() const { return journal_ok_.load(); }
+  std::string journal_path() const;
+  std::string checkpoint_file(std::uint64_t job_id, int replica,
+                              long long step) const;
+  /// Appends one record; an I/O failure demotes the journal to disabled
+  /// (jobs keep running non-durably) instead of killing the daemon.
+  void journal_append(JournalRecord type, const std::string& payload);
+  /// Replays the salvaged journal: restores completed results, re-admits
+  /// lost jobs in original order (resuming supervised ones from their
+  /// checkpoints), sweeps orphan checkpoint files, compacts, and closes
+  /// the kRecovering window. Runs on recovery_thread_.
+  void recover_and_admit();
+  void join_recovery_thread();
+  /// Rewrites the journal to the live minimum (kCompleted for retained
+  /// finished jobs, kAdmitted + latest kCheckpoint for pending ones).
+  void compact_journal();
+  void remove_job_checkpoints(std::uint64_t job_id);
+
   ServerConfig config_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -135,11 +179,24 @@ class Server {
   std::mutex jobs_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
   std::deque<std::uint64_t> finished_order_;
+  std::unordered_map<std::string, std::uint64_t> idempotency_;  // key -> id
   std::uint64_t next_job_id_ = 1;
+
+  // Lock order: jobs_mu_ -> job->mu -> journal_mu_ -> queue internals.
+  std::mutex journal_mu_;
+  Journal journal_;
+  std::atomic<bool> journal_ok_{false};
+  std::atomic<bool> recovering_{false};
+  std::mutex recovery_join_mu_;
+  std::thread recovery_thread_;
+  RecoveryReport recovery_report_;
 
   std::atomic<std::uint64_t> jobs_submitted_{0};
   std::atomic<std::uint64_t> jobs_completed_{0};
   std::atomic<std::uint64_t> jobs_rejected_{0};
+  std::atomic<std::uint64_t> jobs_recovered_{0};
+  std::atomic<std::uint64_t> jobs_resumed_{0};
+  std::atomic<std::uint64_t> results_restored_{0};
 
   int drain_pipe_[2] = {-1, -1};  // [0] read, [1] write (signal-safe)
 };

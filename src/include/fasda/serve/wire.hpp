@@ -47,13 +47,14 @@ enum class MsgType : std::uint8_t {
   kResult,         ///< server→client: JobResult JSON
   kPong,           ///< server→client: server metrics snapshot
   kError,          ///< server→client: protocol violation; connection closes
+  kRecovering,     ///< server→client: journal replay in progress; retry
 };
 
 inline bool msg_type_known(std::uint8_t t) {
   return (t >= static_cast<std::uint8_t>(MsgType::kSubmit) &&
           t <= static_cast<std::uint8_t>(MsgType::kPing)) ||
          (t >= static_cast<std::uint8_t>(MsgType::kAccepted) &&
-          t <= static_cast<std::uint8_t>(MsgType::kError));
+          t <= static_cast<std::uint8_t>(MsgType::kRecovering));
 }
 
 /// Hard cap on one frame (type byte + payload). A JobRequest is a few
@@ -297,26 +298,45 @@ class Conn {
   FrameDecoder decoder_;
 };
 
-/// Connects to host:port (numeric IPv4, loopback in every shipped driver).
-inline Conn dial(const std::string& host, std::uint16_t port) {
+/// Non-throwing connect: returns an invalid Conn with `err_out` set to the
+/// failing errno (0 for a non-errno failure like a bad address). The retry
+/// layer in serve::Client needs the raw errno to tell a restart window
+/// (ECONNREFUSED) from a dead address.
+inline Conn try_dial(const std::string& host, std::uint16_t port,
+                     int& err_out) {
+  err_out = 0;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw WireError(std::string("socket: ") + std::strerror(errno));
+  if (fd < 0) {
+    err_out = errno;
+    return Conn();
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
-    throw WireError("bad address: " + host);
+    return Conn();
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const int err = errno;
+    err_out = errno;
     ::close(fd);
-    throw WireError("connect " + host + ":" + std::to_string(port) +
-                    " failed: " + std::strerror(err));
+    return Conn();
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return Conn(fd);
+}
+
+/// Connects to host:port (numeric IPv4, loopback in every shipped driver).
+inline Conn dial(const std::string& host, std::uint16_t port) {
+  int err = 0;
+  Conn conn = try_dial(host, port, err);
+  if (!conn.valid()) {
+    if (err == 0) throw WireError("bad address: " + host);
+    throw WireError("connect " + host + ":" + std::to_string(port) +
+                    " failed: " + std::strerror(err));
+  }
+  return conn;
 }
 
 /// Binds and listens on host:port; port 0 picks an ephemeral port. Returns

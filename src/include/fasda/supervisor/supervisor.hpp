@@ -25,6 +25,7 @@
 // workers.
 
 #include <chrono>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,15 @@ struct SupervisorConfig {
   /// Optional on-disk mirror of every checkpoint (atomic tmp+rename via
   /// md::save_checkpoint); empty = in-memory only.
   std::string checkpoint_path;
+  /// Step-addressed variant: when set it wins over checkpoint_path and is
+  /// called with the just-banked step to pick the file for that
+  /// checkpoint (an empty return skips the save). The serve durability
+  /// layer uses this to write step-stamped files whose name binds
+  /// step <-> state, so a journal kCheckpoint record can name exactly
+  /// which file resumes it. The save happens BEFORE observers see the
+  /// banked sample — an observer that journals the checkpoint can rely on
+  /// the file already being durable.
+  std::function<std::string(long long step)> checkpoint_path_for;
 };
 
 enum class IncidentKind { kNodeFailure, kDegradedLink, kOther };

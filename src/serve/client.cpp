@@ -1,5 +1,10 @@
 #include "fasda/serve/client.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
 #include "fasda/serve/json.hpp"
 
 namespace fasda::serve {
@@ -15,10 +20,55 @@ std::optional<std::uint64_t> job_id_of(const std::string& payload) {
   return static_cast<std::uint64_t>(id->integer);
 }
 
+Conn dial_retry(const std::string& host, std::uint16_t port,
+                const RetryPolicy& policy) {
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  std::chrono::milliseconds backoff = policy.backoff_initial;
+  int last_err = 0;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    int err = 0;
+    Conn conn = try_dial(host, port, err);
+    if (conn.valid()) return conn;
+    if (err == 0) throw WireError("bad address: " + host);
+    if (!Client::errno_retryable(err)) {
+      throw WireError("connect " + host + ":" + std::to_string(port) +
+                      " failed: " + std::strerror(err));
+    }
+    last_err = err;
+    if (attempt == attempts) break;
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, policy.backoff_cap);
+  }
+  throw RetryGiveUpError(
+      "connect " + host + ":" + std::to_string(port) + " failed after " +
+          std::to_string(attempts) + " attempts: " + std::strerror(last_err),
+      attempts);
+}
+
 }  // namespace
 
+bool Client::errno_retryable(int err) {
+  return err == ECONNREFUSED || err == ECONNRESET || err == ECONNABORTED ||
+         err == ETIMEDOUT;
+}
+
 Client::Client(const std::string& host, std::uint16_t port)
-    : conn_(dial(host, port)) {}
+    : conn_(dial(host, port)), host_(host), port_(port) {
+  policy_.max_attempts = 1;
+}
+
+Client::Client(const std::string& host, std::uint16_t port,
+               const RetryPolicy& policy)
+    : conn_(dial_retry(host, port, policy)),
+      host_(host),
+      port_(port),
+      policy_(policy) {}
+
+void Client::reconnect() {
+  conn_ = Conn();  // drop the old fd first so the server can reap it
+  conn_ = policy_.max_attempts <= 1 ? dial(host_, port_)
+                                    : dial_retry(host_, port_, policy_);
+}
 
 WireFrame Client::recv_checked() {
   WireFrame frame;
@@ -84,6 +134,14 @@ Client::SubmitReply Client::submit(const JobRequest& req) {
       }
       return reply;
     }
+    if (frame.type == MsgType::kRecovering) {
+      // Startup replay window: not an error, just "not yet". Callers back
+      // off and resubmit (idempotency keys make that safe).
+      SubmitReply reply;
+      reply.accepted = false;
+      reply.reason = "recovering";
+      return reply;
+    }
     throw WireError("unexpected reply to kSubmit: " + frame.payload);
   }
 }
@@ -135,7 +193,8 @@ std::string Client::query(std::uint64_t job_id, bool& rejected) {
       absorb_push(frame);
       continue;
     }
-    if (frame.type == MsgType::kRejected) {
+    if (frame.type == MsgType::kRejected ||
+        frame.type == MsgType::kRecovering) {
       rejected = true;
       return frame.payload;
     }

@@ -209,6 +209,7 @@ std::optional<JobRequest> JobRequest::from_json(const json::Value& v,
   };
 
   str_field("tenant", r.tenant);
+  str_field("idempotency", r.idempotency);
   int_field("priority", r.priority, -1000000, 1000000);
   int_field("replicas", r.replicas, 1, 65536);
   int_field("steps", r.steps, 0, 10000000);
@@ -253,6 +254,9 @@ std::optional<JobRequest> JobRequest::from_json(const json::Value& v,
 std::string JobRequest::to_json() const {
   std::string out = "{";
   out += "\"tenant\":" + json::quoted(tenant);
+  if (!idempotency.empty()) {
+    out += ",\"idempotency\":" + json::quoted(idempotency);
+  }
   out += ",\"priority\":" + std::to_string(priority);
   out += ",\"replicas\":" + std::to_string(replicas);
   out += ",\"steps\":" + std::to_string(steps);
@@ -290,6 +294,9 @@ std::string JobRequest::to_json() const {
 std::string JobRequest::validate() const {
   if (tenant.empty() || tenant.size() > 64) {
     return "tenant must be 1..64 characters";
+  }
+  if (idempotency.size() > 128) {
+    return "idempotency key must be at most 128 characters";
   }
   if (!engine::Registry::instance().contains(engine)) {
     return "unknown engine \"" + engine + "\"";
@@ -438,8 +445,47 @@ md::SystemState make_replica_state(const JobRequest& req, int replica) {
   return md::generate_dataset(util::parse_dims(req.space), 8.5, ff, params);
 }
 
+namespace {
+
+/// Rebases a resumed replica's observer stream onto absolute steps and
+/// fires the journal's `checkpointed` hook once per banked block. The
+/// supervisor saves the checkpoint file before on_sample fires, so by the
+/// time `checkpointed` runs the state for that step is already durable.
+class ResumeShimObserver final : public engine::StepObserver {
+ public:
+  ResumeShimObserver(engine::StepObserver* inner, long long base, int replica,
+                     const ExecutionHooks* hooks)
+      : inner_(inner), base_(base), replica_(replica), hooks_(hooks) {}
+
+  void on_sample(int step, const md::SystemState& state,
+                 const engine::Energies& energies) override {
+    const long long absolute = base_ + step;
+    // step 0 is the initial sample (nothing newly banked); for a resumed
+    // replica that step was journaled by the pre-crash incarnation.
+    if (step > 0 && hooks_ && hooks_->checkpointed) {
+      hooks_->checkpointed(replica_, absolute);
+    }
+    if (inner_) inner_->on_sample(static_cast<int>(absolute), state, energies);
+  }
+
+  void on_finish(int steps, engine::Engine& engine) override {
+    if (inner_) {
+      inner_->on_finish(static_cast<int>(base_ + steps), engine);
+    }
+  }
+
+ private:
+  engine::StepObserver* inner_;
+  long long base_;
+  int replica_;
+  const ExecutionHooks* hooks_;
+};
+
+}  // namespace
+
 JobResult execute_job(std::uint64_t job_id, const JobRequest& req,
-                      const ReplicaObserverFactory* observers) {
+                      const ReplicaObserverFactory* observers,
+                      const ExecutionHooks* hooks) {
   util::Stopwatch wall;
   JobResult out;
   out.job_id = job_id;
@@ -462,15 +508,39 @@ JobResult execute_job(std::uint64_t job_id, const JobRequest& req,
                                   : (req.sample > 0 ? req.sample : req.steps);
       scfg.max_restarts = req.max_restarts;
       scfg.allow_degraded = req.allow_degraded;
-      std::vector<engine::StepObserver*> obs;
-      if (observers) {
-        if (engine::StepObserver* o = (*observers)(r)) obs.push_back(o);
+
+      // Resume hand-off: a replica the journal knows a banked checkpoint
+      // for restarts from that state and runs only the remaining steps;
+      // `base` rebases every observed/journaled/reported step back to the
+      // uninterrupted run's numbering.
+      long long base = 0;
+      std::optional<md::SystemState> resume_state;
+      if (hooks) {
+        const auto it = hooks->resume.find(r);
+        if (it != hooks->resume.end()) {
+          base = std::min<long long>(it->second.first, req.steps);
+          resume_state = it->second.second;
+        }
       }
+      if (hooks && hooks->checkpoint_path) {
+        scfg.checkpoint_path_for = [hooks, r, base](long long step) {
+          return hooks->checkpoint_path(r, base + step);
+        };
+      }
+
+      engine::StepObserver* user_obs = nullptr;
+      if (observers) user_obs = (*observers)(r);
+      ResumeShimObserver shim(user_obs, base, r, hooks);
+      std::vector<engine::StepObserver*> obs;
+      if (user_obs || (hooks && hooks->checkpointed)) obs.push_back(&shim);
       try {
-        supervisor::Supervisor sup(make_replica_state(req, r), ff, spec,
-                                   scfg);
-        const supervisor::RunReport report = sup.run(req.steps, obs);
-        rep.steps = report.steps;
+        supervisor::Supervisor sup(
+            resume_state ? std::move(*resume_state)
+                         : make_replica_state(req, r),
+            ff, spec, scfg);
+        const supervisor::RunReport report =
+            sup.run(static_cast<int>(req.steps - base), obs);
+        rep.steps = report.steps + base;
         fill_energies(rep, report.final_energies);
         fill_state(rep, report.final_state, req.return_state);
         if (report.completed) {

@@ -1,0 +1,293 @@
+// Write-ahead job journal (serve/journal.hpp): framing, salvage-scan
+// recovery, fsync-gated appends, and tmp+rename compaction.
+
+#include "fasda/serve/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "fasda/util/crc32.hpp"
+
+namespace fasda::serve {
+
+namespace {
+
+std::uint32_t get_u32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void put_u32_le(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::string errno_str(const char* op) {
+  return std::string(op) + " failed: " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_journal_record(JournalRecord type,
+                                                std::string_view payload) {
+  if (payload.size() > kMaxJournalRecordBytes - 1) {
+    throw JournalError("record payload of " + std::to_string(payload.size()) +
+                       " bytes exceeds the " +
+                       std::to_string(kMaxJournalRecordBytes) +
+                       "-byte record cap");
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size()) + 1;
+  const std::uint8_t type_byte = static_cast<std::uint8_t>(type);
+  util::Crc32 crc;
+  crc.add_bytes(&type_byte, 1);
+  if (!payload.empty()) crc.add_bytes(payload.data(), payload.size());
+  std::vector<std::uint8_t> buf;
+  buf.reserve(9 + payload.size());
+  put_u32_le(buf, length);
+  put_u32_le(buf, crc.value());
+  buf.push_back(type_byte);
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  return buf;
+}
+
+RecoveryReport scan_journal_bytes(const std::uint8_t* data, std::size_t n) {
+  RecoveryReport report;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t remaining = n - pos;
+    if (remaining == 0) {
+      report.tail = JournalTail::kClean;
+      break;
+    }
+    if (remaining < 8) {
+      report.tail = JournalTail::kTorn;
+      report.issue = "file ends inside a record header (" +
+                     std::to_string(remaining) + " of 8 header bytes)";
+      break;
+    }
+    const std::uint32_t length = get_u32_le(data + pos);
+    const std::uint32_t want_crc = get_u32_le(data + pos + 4);
+    if (length == 0 || length > kMaxJournalRecordBytes) {
+      report.tail = JournalTail::kCorrupt;
+      report.issue =
+          "record length " + std::to_string(length) + " is out of range";
+      break;
+    }
+    if (remaining < 8 + static_cast<std::size_t>(length)) {
+      report.tail = JournalTail::kTorn;
+      report.issue = "file ends inside a record body (" +
+                     std::to_string(remaining - 8) + " of " +
+                     std::to_string(length) + " body bytes)";
+      break;
+    }
+    util::Crc32 crc;
+    crc.add_bytes(data + pos + 8, length);
+    if (crc.value() != want_crc) {
+      report.tail = JournalTail::kCorrupt;
+      report.issue = "record CRC mismatch";
+      break;
+    }
+    const std::uint8_t type_byte = data[pos + 8];
+    if (!journal_record_known(type_byte)) {
+      report.tail = JournalTail::kCorrupt;
+      report.issue =
+          "unknown record type " + std::to_string(type_byte);
+      break;
+    }
+    JournalEntry entry;
+    entry.type = static_cast<JournalRecord>(type_byte);
+    entry.payload.assign(reinterpret_cast<const char*>(data + pos + 9),
+                         length - 1);
+    report.entries.push_back(std::move(entry));
+    pos += 8 + static_cast<std::size_t>(length);
+  }
+  report.salvaged_bytes = pos;
+  report.quarantined_bytes = n - pos;
+  report.clean_shutdown =
+      report.tail == JournalTail::kClean && !report.entries.empty() &&
+      report.entries.back().type == JournalRecord::kCleanShutdown;
+  return report;
+}
+
+Journal::~Journal() { close(); }
+
+Journal::Journal(Journal&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)),
+      path_(std::move(o.path_)),
+      bytes_(std::exchange(o.bytes_, 0)),
+      fsync_policy_(o.fsync_policy_) {}
+
+Journal& Journal::operator=(Journal&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = std::exchange(o.fd_, -1);
+    path_ = std::move(o.path_);
+    bytes_ = std::exchange(o.bytes_, 0);
+    fsync_policy_ = o.fsync_policy_;
+  }
+  return *this;
+}
+
+void Journal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+RecoveryReport Journal::recover(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return RecoveryReport{};  // fresh state directory
+    throw JournalError("open " + path + ": " + std::strerror(errno));
+  }
+  std::vector<std::uint8_t> data;
+  std::uint8_t chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw JournalError("read " + path + ": " + std::strerror(err));
+    }
+    if (n == 0) break;
+    data.insert(data.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  return scan_journal_bytes(data.data(), data.size());
+}
+
+void Journal::open_appending(const std::string& path,
+                             const RecoveryReport& report,
+                             JournalFsync fsync_policy) {
+  close();
+  path_ = path;
+  fsync_policy_ = fsync_policy;
+  if (report.quarantined_bytes > 0) {
+    // Preserve the damaged tail for post-mortems before truncating it away.
+    const int src = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (src >= 0) {
+      std::vector<std::uint8_t> tail(report.quarantined_bytes);
+      const ssize_t n =
+          ::pread(src, tail.data(), tail.size(),
+                  static_cast<off_t>(report.salvaged_bytes));
+      ::close(src);
+      if (n > 0) {
+        const std::string qpath = path + ".quarantined";
+        const int qfd = ::open(qpath.c_str(),
+                               O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+        if (qfd >= 0) {
+          write_file_all(qfd, tail.data(), static_cast<std::size_t>(n));
+          ::fsync(qfd);
+          ::close(qfd);
+        }
+      }
+    }
+  }
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw JournalError("open " + path + ": " + std::strerror(errno));
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(report.salvaged_bytes)) != 0) {
+    const int err = errno;
+    close();
+    throw JournalError("truncate " + path + ": " + std::strerror(err));
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    const int err = errno;
+    close();
+    throw JournalError("seek " + path + ": " + std::strerror(err));
+  }
+  if (fsync_policy_ == JournalFsync::kAlways) ::fsync(fd_);
+  bytes_ = report.salvaged_bytes;
+}
+
+void Journal::append(JournalRecord type, std::string_view payload) {
+  if (fd_ < 0) throw JournalError("append on a closed journal");
+  const std::vector<std::uint8_t> buf = encode_journal_record(type, payload);
+  write_file_all(fd_, buf.data(), buf.size());
+  if (fsync_policy_ == JournalFsync::kAlways) {
+    if (::fsync(fd_) != 0) throw JournalError(errno_str("fsync"));
+  }
+  bytes_ += buf.size();
+}
+
+void Journal::rotate(const std::vector<JournalEntry>& compacted) {
+  if (fd_ < 0) throw JournalError("rotate on a closed journal");
+  const std::string tmp = path_ + ".tmp";
+  const int tfd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tfd < 0) {
+    throw JournalError("open " + tmp + ": " + std::strerror(errno));
+  }
+  std::size_t total = 0;
+  try {
+    for (const JournalEntry& e : compacted) {
+      const std::vector<std::uint8_t> buf =
+          encode_journal_record(e.type, e.payload);
+      write_file_all(tfd, buf.data(), buf.size());
+      total += buf.size();
+    }
+  } catch (...) {
+    ::close(tfd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::fsync(tfd) != 0) {
+    const int err = errno;
+    ::close(tfd);
+    ::unlink(tmp.c_str());
+    throw JournalError("fsync " + tmp + ": " + std::strerror(err));
+  }
+  ::close(tfd);
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw JournalError("rename " + tmp + ": " + std::strerror(err));
+  }
+  fsync_parent_dir();
+  // The old fd now points at an unlinked inode; reopen the new file.
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) {
+    throw JournalError("reopen " + path_ + ": " + std::strerror(errno));
+  }
+  bytes_ = total;
+}
+
+void Journal::write_file_all(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw JournalError(errno_str("write"));
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void Journal::fsync_parent_dir() {
+  const std::size_t slash = path_.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path_.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace fasda::serve

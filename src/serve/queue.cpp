@@ -37,6 +37,19 @@ JobQueue::Ticket JobQueue::submit(const std::string& tenant, int priority,
       tenant_load_[tenant] >= config_.tenant_quota) {
     return {Admit::kTenantQuota, 0};
   }
+  return enqueue_locked(tenant, priority, std::move(work));
+}
+
+JobQueue::Ticket JobQueue::readmit(const std::string& tenant, int priority,
+                                   std::function<void()> work) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return {Admit::kStopped, 0};
+  return enqueue_locked(tenant, priority, std::move(work));
+}
+
+JobQueue::Ticket JobQueue::enqueue_locked(const std::string& tenant,
+                                          int priority,
+                                          std::function<void()> work) {
   Entry entry;
   entry.priority = priority;
   entry.seq = next_seq_++;

@@ -4,11 +4,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <map>
+#include <unordered_set>
 #include <utility>
 
+#include "fasda/md/checkpoint.hpp"
 #include "fasda/serve/json.hpp"
 
 namespace fasda::serve {
@@ -78,13 +84,31 @@ struct Server::ConnState {
 /// registry keeps its lock-free single-writer contract because every
 /// publish and every snapshot happens under this one mutex.
 struct Server::Job {
-  enum class State : std::uint8_t { kQueued, kRunning, kDone };
+  /// kRecovering/kResumed are the recovered counterparts of
+  /// kQueued/kRunning: a tenant querying a job that rode through a daemon
+  /// crash can tell it from a fresh submission (DESIGN.md §16).
+  enum class State : std::uint8_t {
+    kQueued,
+    kRunning,
+    kRecovering,
+    kResumed,
+    kDone,
+  };
 
   std::uint64_t id = 0;
   JobRequest req;
+  /// Set (before the job is visible to workers) when this incarnation
+  /// re-admitted or restored the job from the journal.
+  bool recovered = false;
+  /// Checkpoint hand-off filled by recovery: replica -> (banked step,
+  /// loaded state). run_job moves it into ExecutionHooks.
+  std::map<int, std::pair<long long, md::SystemState>> resume;
 
   std::mutex mu;
   State state = State::kQueued;
+  /// replica -> latest journaled checkpoint step (for compaction and for
+  /// deleting superseded checkpoint files).
+  std::map<int, long long> banked;
   obs::Hub hub;
   std::optional<JobResult> result;
   std::vector<std::unique_ptr<engine::StepObserver>> observers;
@@ -103,10 +127,29 @@ Server::Server(ServerConfig config)
 Server::~Server() { stop(); }
 
 void Server::start() {
+  if (!config_.state_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.state_dir, ec);
+    // Scan + truncate-to-salvaged synchronously so every append this
+    // incarnation makes lands after a known-good prefix; the (possibly
+    // slow) checkpoint loading and re-admission run on recovery_thread_
+    // behind the kRecovering window.
+    recovery_report_ = Journal::recover(journal_path());
+    {
+      std::lock_guard<std::mutex> lock(journal_mu_);
+      journal_.open_appending(journal_path(), recovery_report_,
+                              config_.journal_fsync);
+    }
+    journal_ok_.store(true);
+    recovering_.store(true);
+  }
   auto [fd, port] = listen_on(config_.host, config_.port);
   listen_fd_ = fd;
   port_ = port;
   queue_.start_workers(config_.queue_workers);
+  if (!config_.state_dir.empty()) {
+    recovery_thread_ = std::thread([this] { recover_and_admit(); });
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
   started_.store(true);
 }
@@ -115,8 +158,22 @@ void Server::begin_drain() { queue_.begin_drain(); }
 
 void Server::drain_and_stop() {
   begin_drain();
+  // Recovery re-admissions are acknowledged work from a previous
+  // incarnation: they must land in the queue (and therefore be waited on)
+  // before the queue can be considered drained.
+  join_recovery_thread();
   queue_.wait_idle();
+  if (journal_enabled() && !recovering_.load()) {
+    // Everything admitted has completed and is journaled; the record lets
+    // the next startup skip the re-admission scan entirely.
+    journal_append(JournalRecord::kCleanShutdown, "{}");
+  }
   stop();
+}
+
+void Server::join_recovery_thread() {
+  std::lock_guard<std::mutex> lock(recovery_join_mu_);
+  if (recovery_thread_.joinable()) recovery_thread_.join();
 }
 
 void Server::stop() {
@@ -129,6 +186,7 @@ void Server::stop() {
     listen_fd_ = -1;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  join_recovery_thread();
   std::unordered_map<std::uint64_t, std::shared_ptr<ConnState>> conns;
   std::vector<std::thread> threads;
   {
@@ -144,6 +202,13 @@ void Server::stop() {
     if (t.joinable()) t.join();
   }
   queue_.stop();
+  // Workers are joined: no more appends. Close the journal so the fd does
+  // not outlive the server (the file stays, ready for the next start()).
+  journal_ok_.store(false);
+  {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    journal_.close();
+  }
   for (int& fd : drain_pipe_) {
     if (fd >= 0) {
       ::close(fd);
@@ -318,40 +383,90 @@ void Server::handle_submit(ConnState& conn, const std::string& payload) {
     return;
   }
 
-  std::shared_ptr<Job> job;
+  if (recovering_.load()) {
+    // Journal replay in progress: the idempotency map is not rebuilt yet,
+    // so admitting now could double-run a resubmitted job. Retryable.
+    conn.send_safe(MsgType::kRecovering, "{\"reason\":\"recovering\"}");
+    return;
+  }
+
   std::shared_ptr<ConnState> self;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     const auto it = conns_.find(conn.id);
     if (it != conns_.end()) self = it->second;
   }
-  {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
-    job = std::make_shared<Job>();
-    job->id = next_job_id_++;
-    job->req = *req;
-    job->subscriber = self;
-    jobs_.emplace(job->id, job);
+
+  std::shared_ptr<Job> job;
+  std::shared_ptr<Job> existing;
+  std::unique_lock<std::mutex> jobs_lock(jobs_mu_);
+  if (!req->idempotency.empty()) {
+    const auto it = idempotency_.find(req->idempotency);
+    if (it != idempotency_.end()) {
+      const auto jit = jobs_.find(it->second);
+      if (jit != jobs_.end()) existing = jit->second;
+    }
   }
+  if (existing) {
+    // Duplicate submit (a retry after an ambiguous crash or disconnect):
+    // attach this connection to the original job instead of double-running
+    // it. If the job already finished, replay its result.
+    jobs_lock.unlock();
+    std::string result_json;
+    {
+      std::lock_guard<std::mutex> lock(existing->mu);
+      if (existing->state == Job::State::kDone && existing->result) {
+        result_json = existing->result->to_json();
+      } else {
+        existing->subscriber = self;
+      }
+    }
+    conn.send_safe(MsgType::kAccepted,
+                   "{\"job\":" + std::to_string(existing->id) +
+                       ",\"seq\":0,\"duplicate\":true}");
+    if (!result_json.empty()) {
+      conn.send_safe(MsgType::kResult, result_json);
+    }
+    return;
+  }
+
+  job = std::make_shared<Job>();
+  job->id = next_job_id_++;
+  job->req = *req;
+  job->subscriber = self;
+  jobs_.emplace(job->id, job);
+  if (!req->idempotency.empty()) idempotency_[req->idempotency] = job->id;
 
   // Holding job->mu across admit + kAccepted guarantees the client sees
   // kAccepted before any kStatus/kResult push: run_job's first action is
   // to take this same mutex.
   std::unique_lock<std::mutex> job_lock(job->mu);
+  // Write-ahead: the kAdmitted record is durable before the client can see
+  // kAccepted, so an acknowledged job is always recoverable. jobs_mu_ is
+  // held across append + enqueue, making journal record order identical to
+  // queue arrival order — recovery re-admits in journal order and thereby
+  // reproduces the original deterministic schedule.
+  journal_append(JournalRecord::kAdmitted,
+                 "{\"job\":" + std::to_string(job->id) +
+                     ",\"request\":" + job->req.to_json() + "}");
   const JobQueue::Ticket ticket = queue_.submit(
       req->tenant, req->priority, [this, job] { run_job(job); });
   if (ticket.status != Admit::kAdmitted) {
+    // The admission record is already on disk; mark it dead so recovery
+    // never resurrects a job the client was told was rejected.
+    journal_append(JournalRecord::kRejected,
+                   "{\"job\":" + std::to_string(job->id) + "}");
+    jobs_.erase(job->id);
+    if (!req->idempotency.empty()) idempotency_.erase(req->idempotency);
     job_lock.unlock();
-    {
-      std::lock_guard<std::mutex> lock(jobs_mu_);
-      jobs_.erase(job->id);
-    }
+    jobs_lock.unlock();
     jobs_rejected_.fetch_add(1);
     conn.send_safe(MsgType::kRejected,
                    std::string("{\"reason\":") +
                        json::quoted(admit_reason(ticket.status)) + "}");
     return;
   }
+  jobs_lock.unlock();
   jobs_submitted_.fetch_add(1);
   conn.send_safe(MsgType::kAccepted,
                  "{\"job\":" + std::to_string(job->id) +
@@ -359,12 +474,21 @@ void Server::handle_submit(ConnState& conn, const std::string& payload) {
 }
 
 void Server::run_job(std::shared_ptr<Job> job) {
-  std::shared_ptr<ConnState> sub;
+  ExecutionHooks hooks;
+  bool use_hooks = false;
   {
     std::lock_guard<std::mutex> lock(job->mu);
-    job->state = Job::State::kRunning;
-    sub = job->subscriber.lock();
+    // A re-admitted job runs as kResumed so tenants can tell it from a
+    // fresh kRunning (the journal replayed it; its observer stream picks
+    // up at the last banked step, not at 0).
+    job->state =
+        job->recovered ? Job::State::kResumed : Job::State::kRunning;
+    hooks.resume = std::move(job->resume);
+    job->resume.clear();
+    use_hooks = !hooks.resume.empty();
   }
+  journal_append(JournalRecord::kStarted,
+                 "{\"job\":" + std::to_string(job->id) + "}");
 
   // Per-replica status publisher: every sample lands in the job's obs
   // registry (under job->mu, preserving the registry's single-writer
@@ -396,9 +520,38 @@ void Server::run_job(std::shared_ptr<Job> job) {
     return job->observers.back().get();
   };
 
+  if (journal_enabled() && job->req.supervise) {
+    // Checkpoint hand-off: the supervisor saves each banked state to a
+    // step-stamped file (atomic tmp+rename) and only then fires
+    // `checkpointed`, so the journal record always names an
+    // already-durable file. The superseded file is deleted only after the
+    // new record is on disk.
+    use_hooks = true;
+    hooks.checkpoint_path = [this, job](int replica, long long step) {
+      return checkpoint_file(job->id, replica, step);
+    };
+    hooks.checkpointed = [this, job](int replica, long long step) {
+      long long previous = 0;
+      {
+        std::lock_guard<std::mutex> lock(job->mu);
+        const auto it = job->banked.find(replica);
+        if (it != job->banked.end()) previous = it->second;
+        job->banked[replica] = step;
+      }
+      journal_append(JournalRecord::kCheckpoint,
+                     "{\"job\":" + std::to_string(job->id) +
+                         ",\"replica\":" + std::to_string(replica) +
+                         ",\"step\":" + std::to_string(step) + "}");
+      if (previous > 0 && previous != step) {
+        ::unlink(checkpoint_file(job->id, replica, previous).c_str());
+      }
+    };
+  }
+
   JobResult result;
   try {
-    result = execute_job(job->id, job->req, &factory);
+    result = execute_job(job->id, job->req, &factory,
+                         use_hooks ? &hooks : nullptr);
   } catch (const std::exception& e) {
     result.job_id = job->id;
     result.outcome = JobOutcome::kIncomplete;
@@ -410,35 +563,64 @@ void Server::run_job(std::shared_ptr<Job> job) {
   }
 
   std::string result_json;
+  std::shared_ptr<ConnState> push_to;
   {
+    // Durable-before-visible: the kCompleted record reaches the disk
+    // before the result becomes observable through kQuery or the kResult
+    // push — an acknowledged result can never be lost to a crash, and a
+    // crash before this append re-runs the job deterministically instead.
+    // The append sits under jobs_mu_ so a concurrent compaction (which
+    // snapshots job states under the same lock) can never rotate this
+    // record away.
+    std::lock_guard<std::mutex> jobs_lock(jobs_mu_);
     std::lock_guard<std::mutex> lock(job->mu);
+    result_json = result.to_json();
+    journal_append(JournalRecord::kCompleted,
+                   "{\"job\":" + std::to_string(job->id) +
+                       ",\"tenant\":" + json::quoted(job->req.tenant) +
+                       ",\"idempotency\":" +
+                       json::quoted(job->req.idempotency) +
+                       ",\"result\":" + result_json + "}");
     job->state = Job::State::kDone;
     job->result = result;
-    result_json = result.to_json();
     // The observers' lambdas capture a shared_ptr back to this job; they
     // are dead once execute_job returns, and dropping them here breaks
     // the Job <-> FnObserver ownership cycle so reaped jobs actually free.
     job->observers.clear();
-  }
-  {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
+    push_to = job->subscriber.lock();
     finished_order_.push_back(job->id);
     reap_history_locked();
   }
   jobs_completed_.fetch_add(1);
-  if (auto s = job->subscriber.lock()) {
-    s->send_safe(MsgType::kResult, result_json);
+  remove_job_checkpoints(job->id);
+  if (push_to) {
+    push_to->send_safe(MsgType::kResult, result_json);
+  }
+  if (journal_enabled()) {
+    bool oversized = false;
+    {
+      std::lock_guard<std::mutex> lock(journal_mu_);
+      oversized = journal_.is_open() &&
+                  journal_.bytes() > config_.journal_rotate_bytes;
+    }
+    if (oversized) compact_journal();
   }
 }
 
 std::string Server::job_status_json(Job& job) {
   // Caller holds job.mu.
   const char* state = "queued";
-  if (job.state == Job::State::kRunning) state = "running";
-  if (job.state == Job::State::kDone) state = "done";
+  switch (job.state) {
+    case Job::State::kQueued: state = "queued"; break;
+    case Job::State::kRunning: state = "running"; break;
+    case Job::State::kRecovering: state = "recovering"; break;
+    case Job::State::kResumed: state = "resumed"; break;
+    case Job::State::kDone: state = "done"; break;
+  }
   std::string out = "{\"job\":" + std::to_string(job.id);
   out += ",\"tenant\":" + json::quoted(job.req.tenant);
   out += std::string(",\"state\":\"") + state + "\"";
+  out += std::string(",\"recovered\":") + (job.recovered ? "true" : "false");
   out += ",\"metrics\":" + job.hub.metrics().snapshot().to_json();
   if (job.result) out += ",\"result\":" + job.result->to_json();
   out += "}";
@@ -446,6 +628,12 @@ std::string Server::job_status_json(Job& job) {
 }
 
 void Server::handle_query(ConnState& conn, const std::string& payload) {
+  if (recovering_.load()) {
+    // The jobs map is mid-rebuild; answering now could claim a job that is
+    // about to be restored does not exist. Retryable.
+    conn.send_safe(MsgType::kRecovering, "{\"reason\":\"recovering\"}");
+    return;
+  }
   std::string error;
   const auto parsed = json::parse(payload, &error);
   const json::Value* id = parsed ? parsed->find("job") : nullptr;
@@ -481,14 +669,311 @@ void Server::handle_ping(ConnState& conn) {
   out += ",\"rejected\":" + std::to_string(jobs_rejected_.load());
   out += std::string(",\"draining\":") +
          (queue_.draining() ? "true" : "false");
+  out += std::string(",\"recovering\":") +
+         (recovering_.load() ? "true" : "false");
   out += "}";
   conn.send_safe(MsgType::kPong, out);
 }
 
+std::string Server::journal_path() const {
+  return config_.state_dir + "/journal.fjl";
+}
+
+std::string Server::checkpoint_file(std::uint64_t job_id, int replica,
+                                    long long step) const {
+  // Step-stamped so the file name itself binds step <-> state: the journal
+  // record, not directory mtime or file content, is the authority on which
+  // checkpoint resumes a job. A file saved after the last journaled record
+  // (crash between rename and append) is simply never referenced and gets
+  // swept at the next recovery.
+  return config_.state_dir + "/job-" + std::to_string(job_id) + "-r" +
+         std::to_string(replica) + "-s" + std::to_string(step) + ".ckpt";
+}
+
+void Server::journal_append(JournalRecord type, const std::string& payload) {
+  if (!journal_ok_.load()) return;
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (!journal_.is_open()) return;
+  try {
+    journal_.append(type, payload);
+  } catch (const JournalError& e) {
+    // The disk went away under the daemon. Killing in-flight jobs would
+    // turn an I/O error into lost work; instead the journal is demoted to
+    // disabled — the daemon keeps serving (PR 8 ephemeral semantics) and
+    // the operator sees why durability lapsed.
+    journal_ok_.store(false);
+    journal_.close();
+    std::fprintf(stderr, "fasda_serve: journal disabled: %s\n", e.what());
+  }
+}
+
+void Server::recover_and_admit() {
+  if (config_.recovery_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.recovery_delay_ms));
+  }
+
+  // Fold the salvaged record stream into per-job facts. Duplicated records
+  // (possible after a crash mid-compaction retry or in the fuzz suite) are
+  // idempotent: first occurrence fixes the order, later ones overwrite
+  // content with identical data.
+  struct CompletedInfo {
+    std::string tenant;
+    std::string idempotency;
+    JobResult result;
+  };
+  std::vector<std::uint64_t> admitted_order;
+  std::unordered_map<std::uint64_t, JobRequest> admitted;
+  std::unordered_set<std::uint64_t> dead;
+  std::vector<std::uint64_t> done_order;
+  std::unordered_map<std::uint64_t, CompletedInfo> completed;
+  std::unordered_map<std::uint64_t, std::map<int, long long>> checkpoints;
+  std::uint64_t max_id = 0;
+
+  for (const JournalEntry& entry : recovery_report_.entries) {
+    std::string error;
+    const auto parsed = json::parse(entry.payload, &error);
+    if (!parsed || !parsed->is_object()) continue;  // defensive: skip
+    const json::Value* jid = parsed->find("job");
+    const std::uint64_t id =
+        jid && jid->is_number() && jid->integral && jid->integer >= 0
+            ? static_cast<std::uint64_t>(jid->integer)
+            : 0;
+    if (id > max_id) max_id = id;
+    switch (entry.type) {
+      case JournalRecord::kAdmitted: {
+        if (id == 0) break;
+        const json::Value* reqv = parsed->find("request");
+        if (!reqv) break;
+        const auto req = JobRequest::from_json(*reqv, error);
+        if (!req) break;
+        if (!admitted.count(id)) admitted_order.push_back(id);
+        admitted[id] = *req;
+        break;
+      }
+      case JournalRecord::kStarted:
+        break;  // informational: execution is re-derived, not replayed
+      case JournalRecord::kCheckpoint: {
+        const json::Value* rep = parsed->find("replica");
+        const json::Value* step = parsed->find("step");
+        if (id == 0 || !rep || !step) break;
+        checkpoints[id][static_cast<int>(rep->int_or(0))] = step->int_or(0);
+        break;
+      }
+      case JournalRecord::kCompleted: {
+        if (id == 0) break;
+        const json::Value* res = parsed->find("result");
+        if (!res) break;
+        const auto result = JobResult::from_json(*res, error);
+        if (!result) break;
+        CompletedInfo info;
+        if (const json::Value* t = parsed->find("tenant")) {
+          info.tenant = t->str_or("default");
+        }
+        if (const json::Value* k = parsed->find("idempotency")) {
+          info.idempotency = k->str_or("");
+        }
+        info.result = *result;
+        if (!completed.count(id)) done_order.push_back(id);
+        completed[id] = std::move(info);
+        break;
+      }
+      case JournalRecord::kRejected:
+        if (id != 0) dead.insert(id);
+        break;
+      case JournalRecord::kCleanShutdown:
+        break;
+    }
+  }
+
+  // Restore completed results so kQuery keeps answering for them and
+  // their idempotency keys keep deduplicating.
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    if (next_job_id_ <= max_id) next_job_id_ = max_id + 1;
+    for (const std::uint64_t id : done_order) {
+      const CompletedInfo& info = completed.at(id);
+      auto job = std::make_shared<Job>();
+      job->id = id;
+      job->req.tenant =
+          info.tenant.empty() ? std::string("default") : info.tenant;
+      job->req.idempotency = info.idempotency;
+      job->recovered = true;
+      job->state = Job::State::kDone;
+      job->result = info.result;
+      jobs_.emplace(id, job);
+      finished_order_.push_back(id);
+      if (!info.idempotency.empty()) idempotency_[info.idempotency] = id;
+      results_restored_.fetch_add(1);
+    }
+    reap_history_locked();
+  }
+
+  // Rebuild the lost pending jobs (admitted, never completed or rejected)
+  // in original journal order; supervised ones resume from their last
+  // banked checkpoint when its file loads cleanly, and fall back to a
+  // deterministic re-run from scratch when it does not.
+  std::vector<std::shared_ptr<Job>> to_admit;
+  std::unordered_set<std::string> live_checkpoint_files;
+  for (const std::uint64_t id : admitted_order) {
+    if (stopping_.load()) break;
+    if (completed.count(id) || dead.count(id)) continue;
+    auto job = std::make_shared<Job>();
+    job->id = id;
+    job->req = admitted.at(id);
+    job->recovered = true;
+    job->state = Job::State::kRecovering;
+    if (job->req.supervise) {
+      const auto cit = checkpoints.find(id);
+      if (cit != checkpoints.end()) {
+        for (const auto& [replica, step] : cit->second) {
+          const std::string path = checkpoint_file(id, replica, step);
+          try {
+            md::SystemState state = md::load_checkpoint(path);
+            job->resume[replica] = {step, std::move(state)};
+            job->banked[replica] = step;
+            live_checkpoint_files.insert(path);
+          } catch (const std::exception&) {
+            // Missing or torn file: the journal record outlived its state
+            // (possible under --journal-fsync never). Re-run from scratch
+            // — slower, still bitwise identical.
+          }
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      jobs_.emplace(id, job);
+      if (!job->req.idempotency.empty()) {
+        idempotency_[job->req.idempotency] = id;
+      }
+    }
+    to_admit.push_back(std::move(job));
+  }
+
+  // Sweep checkpoint files the journal does not reference: leftovers of
+  // completed jobs and orphans saved after the last journaled record.
+  {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(config_.state_dir, ec);
+    if (!ec) {
+      for (const auto& dirent : it) {
+        const std::string name = dirent.path().filename().string();
+        if (name.rfind("job-", 0) != 0 ||
+            name.size() < 5 ||
+            name.compare(name.size() - 5, 5, ".ckpt") != 0) {
+          continue;
+        }
+        if (!live_checkpoint_files.count(dirent.path().string())) {
+          std::filesystem::remove(dirent.path(), ec);
+        }
+      }
+    }
+  }
+
+  // Re-admission in journal order: fresh queue seqs are assigned in the
+  // original arrival order, so (priority, seq) pops reproduce the
+  // pre-crash schedule exactly.
+  for (const std::shared_ptr<Job>& job : to_admit) {
+    if (stopping_.load()) break;
+    jobs_recovered_.fetch_add(1);
+    if (!job->resume.empty()) jobs_resumed_.fetch_add(1);
+    const JobQueue::Ticket ticket = queue_.readmit(
+        job->req.tenant, job->req.priority, [this, job] { run_job(job); });
+    if (ticket.status != Admit::kAdmitted) break;  // stopped underneath us
+  }
+
+  if (!stopping_.load()) compact_journal();
+  recovering_.store(false);
+}
+
+void Server::compact_journal() {
+  if (!journal_enabled()) return;
+  // jobs_mu_ is held across snapshot + rotate: the appends that decide
+  // exactly-once (kAdmitted, kRejected, kCompleted) also run under
+  // jobs_mu_, so none of them can slip into the old file mid-rotation and
+  // be lost. Advisory records (kStarted, kCheckpoint) may race and drop —
+  // recovery only degrades to an earlier resume point, never loses a job.
+  std::lock_guard<std::mutex> jobs_lock(jobs_mu_);
+  std::vector<JournalEntry> entries;
+  // Retained completed jobs first (the oldest facts), in history order.
+  for (const std::uint64_t id : finished_order_) {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) continue;
+    Job& job = *it->second;
+    std::lock_guard<std::mutex> lock(job.mu);
+    if (!job.result) continue;
+    entries.push_back(
+        {JournalRecord::kCompleted,
+         "{\"job\":" + std::to_string(job.id) +
+             ",\"tenant\":" + json::quoted(job.req.tenant) +
+             ",\"idempotency\":" + json::quoted(job.req.idempotency) +
+             ",\"result\":" + job.result->to_json() + "}"});
+  }
+  // Pending jobs in id order == original admission order (ids are assigned
+  // under jobs_mu_ in the same critical section as the journal append).
+  std::vector<Job*> by_id;
+  by_id.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) by_id.push_back(job.get());
+  std::sort(by_id.begin(), by_id.end(),
+            [](const Job* a, const Job* b) { return a->id < b->id; });
+  for (Job* job : by_id) {
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (job->state == Job::State::kDone) continue;  // emitted above
+    entries.push_back({JournalRecord::kAdmitted,
+                       "{\"job\":" + std::to_string(job->id) +
+                           ",\"request\":" + job->req.to_json() + "}"});
+    for (const auto& [replica, step] : job->banked) {
+      entries.push_back({JournalRecord::kCheckpoint,
+                         "{\"job\":" + std::to_string(job->id) +
+                             ",\"replica\":" + std::to_string(replica) +
+                             ",\"step\":" + std::to_string(step) + "}"});
+    }
+  }
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (!journal_.is_open()) return;
+  try {
+    journal_.rotate(entries);
+  } catch (const JournalError& e) {
+    journal_ok_.store(false);
+    journal_.close();
+    std::fprintf(stderr, "fasda_serve: journal disabled: %s\n", e.what());
+  }
+}
+
+void Server::remove_job_checkpoints(std::uint64_t job_id) {
+  if (config_.state_dir.empty()) return;
+  const std::string prefix = "job-" + std::to_string(job_id) + "-";
+  std::error_code ec;
+  std::filesystem::directory_iterator it(config_.state_dir, ec);
+  if (ec) return;
+  for (const auto& dirent : it) {
+    const std::string name = dirent.path().filename().string();
+    if (name.rfind(prefix, 0) == 0 && name.size() >= 5 &&
+        name.compare(name.size() - 5, 5, ".ckpt") == 0) {
+      std::filesystem::remove(dirent.path(), ec);
+    }
+  }
+}
+
 void Server::reap_history_locked() {
   while (finished_order_.size() > config_.result_history) {
-    jobs_.erase(finished_order_.front());
+    const std::uint64_t id = finished_order_.front();
     finished_order_.pop_front();
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) {
+      // The job's durability ends with its history slot: drop its
+      // idempotency binding too (a resubmit after eviction runs fresh,
+      // exactly like PR 8's history semantics).
+      const std::string& key = it->second->req.idempotency;
+      if (!key.empty()) {
+        const auto kit = idempotency_.find(key);
+        if (kit != idempotency_.end() && kit->second == id) {
+          idempotency_.erase(kit);
+        }
+      }
+      jobs_.erase(it);
+    }
   }
 }
 

@@ -178,7 +178,10 @@ RunReport Supervisor::run(int steps,
                      static_cast<std::int64_t>(ckpt.step));
     report.steps = ckpt.step;
     for (Incident& inc : report.incidents) inc.recovered = true;
-    if (!config_.checkpoint_path.empty()) {
+    if (config_.checkpoint_path_for) {
+      const std::string path = config_.checkpoint_path_for(ckpt.step);
+      if (!path.empty()) md::save_checkpoint(path, ckpt.state);
+    } else if (!config_.checkpoint_path.empty()) {
       md::save_checkpoint(config_.checkpoint_path, ckpt.state);
     }
     const engine::Energies e = engine->energies();

@@ -1,22 +1,37 @@
-// fasda_serve — the multi-tenant simulation job daemon (DESIGN.md §15).
+// fasda_serve — the multi-tenant simulation job daemon (DESIGN.md §15-16).
 //
 // Listens on a TCP socket for length-prefixed JSON frames (serve/wire.hpp),
 // admits JobRequests through a bounded priority queue with per-tenant
 // quotas, runs them on queue workers via serve::execute_job, and streams
 // kStatus/kResult frames back to the submitting connection. SIGTERM (or
 // SIGINT) starts a graceful drain: new submits are rejected with
-// "draining", admitted jobs finish, then the daemon exits 0.
+// "draining", admitted jobs finish, a clean-shutdown record is journaled,
+// then the daemon exits 0.
+//
+// With --state-dir the daemon is crash-safe: every admitted job is
+// journaled before it is acknowledged, supervised jobs bank step-stamped
+// checkpoints, and completed results are durable. A restarted daemon
+// replays the journal, re-admits lost jobs in their original order
+// (resuming supervised ones from their last checkpoint), and answers
+// kQuery for results that finished before the crash.
 //
 // Usage:
 //   fasda_serve [--host 127.0.0.1] [--port 0] [--queue-workers 2]
 //               [--queue-cap 256] [--tenant-quota 0] [--recv-timeout 600]
-//               [--send-timeout 30]
+//               [--send-timeout 30] [--state-dir DIR]
+//               [--journal-fsync always|never] [--pid-file PATH]
 //
 // --port 0 binds an ephemeral port; the actual port is announced on stdout
 // as "fasda_serve: listening on HOST:PORT" so harnesses can parse it.
+// --pid-file writes the daemon pid once listening (and removes it on
+// graceful exit) so crash harnesses can aim their SIGKILL.
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "fasda/serve/server.hpp"
 #include "fasda/util/cli.hpp"
@@ -29,7 +44,9 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: fasda_serve [--host ADDR] [--port P] [--queue-workers N]\n"
         "                   [--queue-cap N] [--tenant-quota N]\n"
-        "                   [--recv-timeout SECONDS] [--send-timeout SECONDS]\n");
+        "                   [--recv-timeout SECONDS] [--send-timeout SECONDS]\n"
+        "                   [--state-dir DIR] [--journal-fsync always|never]\n"
+        "                   [--pid-file PATH]\n");
     return 0;
   }
 
@@ -46,6 +63,19 @@ int main(int argc, char** argv) {
       static_cast<int>(cli.get_or("recv-timeout", 600L));
   config.send_timeout_seconds =
       static_cast<int>(cli.get_or("send-timeout", 30L));
+  config.state_dir = cli.get_or("state-dir", "");
+  const std::string fsync_policy = cli.get_or("journal-fsync", "always");
+  if (fsync_policy == "always") {
+    config.journal_fsync = serve::JournalFsync::kAlways;
+  } else if (fsync_policy == "never") {
+    config.journal_fsync = serve::JournalFsync::kNever;
+  } else {
+    std::fprintf(stderr,
+                 "fasda_serve: --journal-fsync must be always|never, got %s\n",
+                 fsync_policy.c_str());
+    return 2;
+  }
+  const std::string pid_file = cli.get_or("pid-file", "");
 
   serve::Server server(config);
   try {
@@ -54,9 +84,40 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fasda_serve: %s\n", e.what());
     return 1;
   }
+  if (!pid_file.empty()) {
+    if (std::FILE* f = std::fopen(pid_file.c_str(), "w")) {
+      std::fprintf(f, "%ld\n", static_cast<long>(::getpid()));
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "fasda_serve: cannot write pid file %s\n",
+                   pid_file.c_str());
+    }
+  }
   std::printf("fasda_serve: listening on %s:%u\n", server.host().c_str(),
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
+
+  if (!config.state_dir.empty()) {
+    // Replay runs on a background thread so the socket answers
+    // kRecovering immediately; wait it out here just to report.
+    while (server.recovering()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const serve::RecoveryReport& report = server.recovery_report();
+    std::printf(
+        "fasda_serve: recovery tail=%s clean_shutdown=%d records=%zu "
+        "readmitted=%llu resumed=%llu results_restored=%llu\n",
+        serve::journal_tail_name(report.tail), report.clean_shutdown ? 1 : 0,
+        report.entries.size(),
+        static_cast<unsigned long long>(server.jobs_recovered()),
+        static_cast<unsigned long long>(server.jobs_resumed()),
+        static_cast<unsigned long long>(server.results_restored()));
+    if (!report.issue.empty()) {
+      std::printf("fasda_serve: journal salvage: %s (%zu bytes quarantined)\n",
+                  report.issue.c_str(), report.quarantined_bytes);
+    }
+    std::fflush(stdout);
+  }
 
   serve::Server::install_signal_drain(&server);
   server.wait_for_drain_signal();
@@ -65,11 +126,14 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
   server.drain_and_stop();
   serve::Server::install_signal_drain(nullptr);
+  if (!pid_file.empty()) ::unlink(pid_file.c_str());
 
   std::printf(
-      "fasda_serve: drained; submitted=%llu completed=%llu rejected=%llu\n",
+      "fasda_serve: drained; submitted=%llu completed=%llu rejected=%llu "
+      "recovered=%llu\n",
       static_cast<unsigned long long>(server.jobs_submitted()),
       static_cast<unsigned long long>(server.jobs_completed()),
-      static_cast<unsigned long long>(server.jobs_rejected()));
+      static_cast<unsigned long long>(server.jobs_rejected()),
+      static_cast<unsigned long long>(server.jobs_recovered()));
   return 0;
 }
