@@ -40,6 +40,7 @@ const char* metric_kind_name(MetricKind kind);
 struct MetricsSnapshot {
   struct Series {
     std::string name;
+    std::string help;  ///< exporter HELP text; empty = use the name
     MetricKind kind = MetricKind::kCounter;
     // Counters: total is the sum over shards; per_node lists the nonzero
     // shards. Gauges: value is the cluster slot (or, if only per-node slots
@@ -48,8 +49,11 @@ struct MetricsSnapshot {
     double value = 0.0;
     std::vector<std::pair<int, std::uint64_t>> per_node;
     std::vector<std::pair<int, double>> per_node_values;
-    // Histograms: buckets merged across shards.
+    // Histograms: buckets merged across shards, plus the exact sum of all
+    // observed values (u64 wraparound adds, so merging stays
+    // order-independent) for native Prometheus `_sum` exposition.
     std::vector<std::uint64_t> buckets;
+    std::uint64_t sum = 0;
 
     std::uint64_t bucket_count() const;
   };
@@ -74,9 +78,10 @@ class Registry {
   /// Registers (or re-resolves) a metric. Same name + same kind returns the
   /// same handle; same name under a different kind throws
   /// std::invalid_argument. Single-threaded: never call during a run.
-  Handle counter(std::string_view name);
-  Handle gauge(std::string_view name);
-  Handle histogram(std::string_view name);
+  /// `help` is exporter HELP text; the first non-empty help wins.
+  Handle counter(std::string_view name, std::string_view help = {});
+  Handle gauge(std::string_view name, std::string_view help = {});
+  Handle histogram(std::string_view name, std::string_view help = {});
 
   /// Grows the shard set to cover nodes [0, count). Never shrinks, so a
   /// degraded re-shard keeps publishing into the same registry.
@@ -117,7 +122,8 @@ class Registry {
       std::string name;
       MetricKind kind = MetricKind::kCounter;
       /// (node, value) for counters; (node, offset-into-buckets) pairs with
-      /// kHistogramBuckets values each in `buckets` for histograms.
+      /// kHistogramBuckets + 1 values each in `buckets` for histograms —
+      /// the bucket counts followed by the observed-value sum.
       std::vector<std::pair<int, std::uint64_t>> values;
       std::vector<std::uint64_t> buckets;
     };
@@ -138,9 +144,11 @@ class Registry {
     std::vector<double> gauges;
     std::vector<std::uint8_t> gauge_set;
     std::vector<std::uint64_t> hist;  // kHistogramBuckets per histogram slot
+    std::vector<std::uint64_t> hist_sum;  // one running sum per slot
   };
   struct Meta {
     std::string name;
+    std::string help;
     MetricKind kind;
     Handle handle;
   };
@@ -154,7 +162,8 @@ class Registry {
     return (static_cast<Handle>(kind) << 30) | slot;
   }
 
-  Handle register_metric(std::string_view name, MetricKind kind);
+  Handle register_metric(std::string_view name, MetricKind kind,
+                         std::string_view help = {});
   void resize_shard(Shard& shard) const;
 
   std::vector<Meta> metas_;             // registration order

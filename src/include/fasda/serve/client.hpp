@@ -88,6 +88,11 @@ class Client {
   /// kPing; returns the kPong payload (server stats JSON).
   std::string ping();
 
+  /// kStats; returns the wall-clock observability body — JSON for
+  /// format "json", Prometheus text exposition for "prometheus"
+  /// (DESIGN.md §17). Throws WireError if the server rejects the format.
+  std::string stats(const std::string& format = "json");
+
   Conn& conn() { return conn_; }
 
  private:

@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -156,6 +157,17 @@ class Journal {
   /// killing in-flight jobs.
   void append(JournalRecord type, std::string_view payload);
 
+  /// Wall-clock latency observer for the second observability plane
+  /// (DESIGN.md §17): called after every successful append with the whole
+  /// call's duration and the fsync's share of it, both in microseconds
+  /// (fsync_us is 0 under JournalFsync::kNever). Runs on the appending
+  /// thread under journal locking — keep it cheap and non-throwing.
+  using AppendObserver = std::function<void(std::uint64_t append_us,
+                                            std::uint64_t fsync_us)>;
+  void set_append_observer(AppendObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   /// Atomically replaces the journal with `compacted` (tmp + fsync +
   /// rename + directory fsync) and keeps appending to the new file.
   void rotate(const std::vector<JournalEntry>& compacted);
@@ -173,6 +185,7 @@ class Journal {
   std::string path_;
   std::size_t bytes_ = 0;
   JournalFsync fsync_policy_ = JournalFsync::kAlways;
+  AppendObserver observer_;
 };
 
 }  // namespace fasda::serve

@@ -26,6 +26,10 @@
 #include <unordered_map>
 #include <vector>
 
+namespace fasda::obs {
+class ServerStats;
+}
+
 namespace fasda::serve {
 
 struct QueueConfig {
@@ -95,10 +99,17 @@ class JobQueue {
   /// Queued + running entries currently charged to `tenant`.
   std::size_t tenant_load(const std::string& tenant) const;
 
+  /// Wall-clock observability sink (DESIGN.md §17): when set, the queue
+  /// observes per-entry queue-wait (enqueue -> pop, covering recovery
+  /// readmits too) and keeps the depth/running gauges current. The sink
+  /// must outlive the queue; call before start_workers().
+  void set_stats(obs::ServerStats* stats) { stats_ = stats; }
+
  private:
   struct Entry {
     int priority = 0;
     std::uint64_t seq = 0;
+    std::uint64_t enqueued_us = 0;  ///< wall_micros() at admission
     std::string tenant;
     // Shared because std::set elements are const; the function itself is
     // only invoked once, by whichever thread extracts the entry.
@@ -118,6 +129,7 @@ class JobQueue {
   void worker_loop();
 
   QueueConfig config_;
+  obs::ServerStats* stats_ = nullptr;  ///< leaf lock; safe under mu_
   mutable std::mutex mu_;
   std::condition_variable cv_work_;   // workers: queue non-empty or stopping
   std::condition_variable cv_idle_;   // wait_idle: queued+running drained

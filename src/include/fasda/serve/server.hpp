@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "fasda/obs/obs.hpp"
+#include "fasda/obs/server_stats.hpp"
 #include "fasda/serve/job.hpp"
 #include "fasda/serve/journal.hpp"
 #include "fasda/serve/queue.hpp"
@@ -58,6 +59,20 @@ struct ServerConfig {
   /// Test hook: hold the kRecovering window open this long before replay
   /// so tests can observe the recovering protocol deterministically.
   int recovery_delay_ms = 0;
+  /// Wall-clock observability plane (DESIGN.md §17). `wall_obs` gates the
+  /// whole plane — the ServerStats registry, per-job spans, and the kStats
+  /// surface's numbers; off is the bench's metrics-off baseline. The
+  /// deterministic per-job obs Hubs are unaffected either way.
+  bool wall_obs = true;
+  /// Periodic Prometheus text dump: "" disables; otherwise the file is
+  /// rewritten every `metrics_every_seconds` (minimum 1) and once more at
+  /// drain/stop.
+  std::string metrics_out;
+  int metrics_every_seconds = 5;
+  /// Chrome trace dump of the wall-clock job spans, same cadence as
+  /// metrics_out. The last periodic dump a SIGKILLed incarnation leaves
+  /// behind is what stitches its spans to the next incarnation's.
+  std::string trace_out;
 };
 
 class Server {
@@ -107,6 +122,15 @@ class Server {
   /// long-running daemon never accumulates dead fds or threads.
   std::size_t connections() const;
 
+  /// The wall-clock plane (DESIGN.md §17). Tests and benches read these
+  /// directly; remote scrapers go through kStats / fasda_stat.
+  obs::ServerStats& wall_stats() { return stats_; }
+  obs::ServeTrace& wall_trace() { return trace_; }
+  /// The kStats bodies, also usable in-process: health + metrics as JSON,
+  /// or the Prometheus text exposition. Both refresh the gauges first.
+  std::string stats_json();
+  std::string stats_prometheus();
+
   /// Installs a SIGTERM + SIGINT handler that routes to `server`'s drain
   /// pipe (async-signal-safe write). Pass nullptr to restore the previous
   /// handlers. One server at a time.
@@ -132,9 +156,16 @@ class Server {
   void handle_submit(ConnState& conn, const std::string& payload);
   void handle_query(ConnState& conn, const std::string& payload);
   void handle_ping(ConnState& conn);
+  void handle_stats(ConnState& conn, const std::string& payload);
   void run_job(std::shared_ptr<Job> job);
   std::string job_status_json(Job& job);
   void reap_history_locked();
+
+  // Wall-clock plane plumbing (DESIGN.md §17).
+  std::string health_json();    ///< the kPing body (also embedded in kStats)
+  void refresh_wall_gauges();
+  void dump_wall_obs();         ///< rewrite metrics_out / trace_out
+  void metrics_loop();          ///< periodic dump thread
 
   // Durability plumbing (all no-ops without a state_dir).
   bool journal_enabled() const { return journal_ok_.load(); }
@@ -197,6 +228,17 @@ class Server {
   std::atomic<std::uint64_t> jobs_recovered_{0};
   std::atomic<std::uint64_t> jobs_resumed_{0};
   std::atomic<std::uint64_t> results_restored_{0};
+
+  // The wall-clock observability plane (DESIGN.md §17) — never mixed with
+  // the deterministic per-job Hubs. stats_'s mutex is a leaf lock: safe to
+  // emit under any server lock, and it takes none itself.
+  obs::ServerStats stats_;
+  obs::ServeTrace trace_;
+  std::uint64_t start_us_ = 0;  ///< wall_micros() at start()
+  std::mutex metrics_cv_mu_;
+  std::condition_variable metrics_cv_;
+  bool metrics_stop_ = false;
+  std::thread metrics_thread_;
 
   int drain_pipe_[2] = {-1, -1};  // [0] read, [1] write (signal-safe)
 };

@@ -40,7 +40,10 @@ namespace fasda::serve {
 enum class MsgType : std::uint8_t {
   kSubmit = 1,  ///< client→server: JobRequest JSON
   kQuery,       ///< client→server: {"job": id}
-  kPing,        ///< client→server: liveness + server stats probe
+  kPing,        ///< client→server: liveness + server health probe
+  kStats,       ///< both ways: request {"format":"json"|"prometheus"};
+                ///< the reply frame reuses the type, its payload is the
+                ///< wall-clock stats body in the requested format
   kAccepted = 64,  ///< server→client: {"job": id} — admitted to the queue
   kRejected,       ///< server→client: {"reason": ..., "detail": ...}
   kStatus,         ///< server→client: job state + metrics snapshot
@@ -52,7 +55,7 @@ enum class MsgType : std::uint8_t {
 
 inline bool msg_type_known(std::uint8_t t) {
   return (t >= static_cast<std::uint8_t>(MsgType::kSubmit) &&
-          t <= static_cast<std::uint8_t>(MsgType::kPing)) ||
+          t <= static_cast<std::uint8_t>(MsgType::kStats)) ||
          (t >= static_cast<std::uint8_t>(MsgType::kAccepted) &&
           t <= static_cast<std::uint8_t>(MsgType::kRecovering));
 }

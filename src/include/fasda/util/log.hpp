@@ -6,7 +6,9 @@
 // redirect them.
 
 #include <cstdarg>
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <string_view>
 
 namespace fasda::util {
@@ -31,23 +33,62 @@ using LogSink = std::function<void(LogLevel, std::string_view)>;
 /// Replaces the stderr writer; an empty sink restores it.
 void set_log_sink(LogSink sink);
 
+/// Structured context attached to a log line by slog(). All fields are
+/// optional; job 0 means "no job association".
+struct LogFields {
+  LogFields() = default;
+  LogFields(std::string_view component_, std::uint64_t job_ = 0,
+            std::string_view tenant_ = {})
+      : component(component_), job(job_), tenant(tenant_) {}
+
+  std::string_view component;  ///< e.g. "serve.server", "serve.journal"
+  std::uint64_t job = 0;       ///< server-assigned job id
+  std::string_view tenant;
+};
+
+/// Opens (appending) a JSON-lines structured sink. Every line emitted
+/// through log()/slog() is additionally written to the file as one JSON
+/// object: {"ts_us":…,"level":"…","component":…,"job":…,"tenant":…,
+/// "msg":"…"} with empty fields omitted. Returns false if the file cannot
+/// be opened. The JSON sink runs alongside the stderr/LogSink path, not
+/// instead of it.
+bool open_json_log(const std::string& path);
+void close_json_log();
+bool json_log_active();
+
 namespace detail {
-void log_emit(LogLevel level, const char* fmt, std::va_list args);
+void log_emit(LogLevel level, const LogFields& fields, const char* fmt,
+              std::va_list args);
 }
 
 #if defined(__GNUC__)
-#define FASDA_PRINTF_LIKE __attribute__((format(printf, 2, 3)))
+#define FASDA_PRINTF_LIKE(fmt_at) \
+  __attribute__((format(printf, fmt_at, fmt_at + 1)))
 #else
-#define FASDA_PRINTF_LIKE
+#define FASDA_PRINTF_LIKE(fmt_at)
 #endif
 
-inline void log(LogLevel level, const char* fmt, ...) FASDA_PRINTF_LIKE;
+inline void log(LogLevel level, const char* fmt, ...) FASDA_PRINTF_LIKE(2);
 
 inline void log(LogLevel level, const char* fmt, ...) {
   if (level < log_level()) return;
   std::va_list args;
   va_start(args, fmt);
-  detail::log_emit(level, fmt, args);
+  detail::log_emit(level, LogFields{}, fmt, args);
+  va_end(args);
+}
+
+/// log() with structured context: the stderr line is prefixed with the
+/// component, and the JSON sink (when open) gets the fields as columns.
+inline void slog(LogLevel level, const LogFields& fields, const char* fmt, ...)
+    FASDA_PRINTF_LIKE(3);
+
+inline void slog(LogLevel level, const LogFields& fields, const char* fmt,
+                 ...) {
+  if (level < log_level()) return;
+  std::va_list args;
+  va_start(args, fmt);
+  detail::log_emit(level, fields, fmt, args);
   va_end(args);
 }
 

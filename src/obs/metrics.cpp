@@ -54,20 +54,21 @@ const char* metric_kind_name(MetricKind kind) {
 
 // ---------------------------------------------------------------- Registry
 
-Handle Registry::counter(std::string_view name) {
-  return register_metric(name, MetricKind::kCounter);
+Handle Registry::counter(std::string_view name, std::string_view help) {
+  return register_metric(name, MetricKind::kCounter, help);
 }
 
-Handle Registry::gauge(std::string_view name) {
-  return register_metric(name, MetricKind::kGauge);
+Handle Registry::gauge(std::string_view name, std::string_view help) {
+  return register_metric(name, MetricKind::kGauge, help);
 }
 
-Handle Registry::histogram(std::string_view name) {
-  return register_metric(name, MetricKind::kHistogram);
+Handle Registry::histogram(std::string_view name, std::string_view help) {
+  return register_metric(name, MetricKind::kHistogram, help);
 }
 
-Handle Registry::register_metric(std::string_view name, MetricKind kind) {
-  for (const Meta& meta : metas_) {
+Handle Registry::register_metric(std::string_view name, MetricKind kind,
+                                 std::string_view help) {
+  for (Meta& meta : metas_) {
     if (meta.name != name) continue;
     if (meta.kind != kind) {
       throw std::invalid_argument("obs: metric '" + meta.name +
@@ -76,11 +77,12 @@ Handle Registry::register_metric(std::string_view name, MetricKind kind) {
                                   ", cannot re-register as " +
                                   metric_kind_name(kind));
     }
+    if (meta.help.empty() && !help.empty()) meta.help = std::string(help);
     return meta.handle;
   }
   const auto slot = next_slot_[static_cast<std::size_t>(kind)]++;
   const Handle handle = make_handle(kind, slot);
-  metas_.push_back({std::string(name), kind, handle});
+  metas_.push_back({std::string(name), std::string(help), kind, handle});
   for (Shard& shard : shards_) resize_shard(shard);
   return handle;
 }
@@ -99,6 +101,7 @@ void Registry::resize_shard(Shard& shard) const {
   shard.hist.resize(static_cast<std::size_t>(next_slot_[2]) *
                         kHistogramBuckets,
                     0);
+  shard.hist_sum.resize(next_slot_[2], 0);
 }
 
 void Registry::observe(int node, Handle h, std::uint64_t value) noexcept {
@@ -107,6 +110,7 @@ void Registry::observe(int node, Handle h, std::uint64_t value) noexcept {
   auto& shard = shards_[static_cast<std::size_t>(node + 1)];
   shard.hist[static_cast<std::size_t>(slot_of(h)) * kHistogramBuckets +
              static_cast<std::size_t>(bucket)] += 1;
+  shard.hist_sum[slot_of(h)] += value;
 }
 
 MetricsSnapshot Registry::snapshot() const {
@@ -115,6 +119,7 @@ MetricsSnapshot Registry::snapshot() const {
   for (const Meta& meta : metas_) {
     MetricsSnapshot::Series s;
     s.name = meta.name;
+    s.help = meta.help;
     s.kind = meta.kind;
     const std::size_t slot = slot_of(meta.handle);
     // Shard 0 is the cluster slot (node kClusterNode); shard i+1 is node i.
@@ -141,6 +146,7 @@ MetricsSnapshot Registry::snapshot() const {
                 shard.hist[slot * kHistogramBuckets +
                            static_cast<std::size_t>(b)];
           }
+          s.sum += shard.hist_sum[slot];
           break;
       }
     }
@@ -175,6 +181,7 @@ Registry::NodeImage Registry::image_nodes(int node_begin, int node_end) const {
         s.values.emplace_back(node, s.buckets.size());
         s.buckets.insert(s.buckets.end(), shard.hist.begin() + static_cast<std::ptrdiff_t>(base),
                          shard.hist.begin() + static_cast<std::ptrdiff_t>(base + kHistogramBuckets));
+        s.buckets.push_back(shard.hist_sum[slot]);
       }
     }
     if (!s.values.empty()) img.series.push_back(std::move(s));
@@ -198,6 +205,11 @@ void Registry::apply_image(const NodeImage& img) {
               s.buckets[static_cast<std::size_t>(v) +
                         static_cast<std::size_t>(b)];
         }
+        // The blob carries the per-slot sum after the bucket counts; an
+        // image from an older producer without it keeps the local sum.
+        const std::size_t sum_at =
+            static_cast<std::size_t>(v) + kHistogramBuckets;
+        if (sum_at < s.buckets.size()) shard.hist_sum[slot] = s.buckets[sum_at];
       }
     }
   }
@@ -251,6 +263,8 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
     }
     Series& out = *it;
     out.total += in.total;
+    out.sum += in.sum;
+    if (out.help.empty()) out.help = in.help;
     if (!in.per_node_values.empty() || in.value != 0.0) out.value = in.value;
     for (const auto& [node, v] : in.per_node) {
       auto pn = std::find_if(out.per_node.begin(), out.per_node.end(),
@@ -330,6 +344,8 @@ std::string MetricsSnapshot::to_json() const {
       case MetricKind::kHistogram: {
         out += ",\"count\":";
         append_u64(out, s.bucket_count());
+        out += ",\"sum\":";
+        append_u64(out, s.sum);
         out += ",\"buckets\":{";
         bool f2 = true;
         for (std::size_t b = 0; b < s.buckets.size(); ++b) {
@@ -355,6 +371,12 @@ std::string MetricsSnapshot::to_prometheus() const {
   std::string out;
   for (const Series& s : series) {
     const std::string name = prometheus_name(s.name);
+    // HELP first, then TYPE, per the text exposition format. Help text
+    // falls back to the registry's dotted name so every family documents
+    // at least its origin.
+    out += "# HELP " + name + ' ';
+    out += s.help.empty() ? s.name : s.help;
+    out += '\n';
     out += "# TYPE " + name + ' ' + metric_kind_name(s.kind) + '\n';
     switch (s.kind) {
       case MetricKind::kCounter:
@@ -399,6 +421,9 @@ std::string MetricsSnapshot::to_prometheus() const {
         }
         out += name + "_bucket{le=\"+Inf\"} ";
         append_u64(out, s.bucket_count());
+        out += '\n';
+        out += name + "_sum ";
+        append_u64(out, s.sum);
         out += '\n';
         out += name + "_count ";
         append_u64(out, s.bucket_count());

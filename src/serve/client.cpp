@@ -213,4 +213,17 @@ std::string Client::ping() {
   }
 }
 
+std::string Client::stats(const std::string& format) {
+  conn_.send(MsgType::kStats, "{\"format\":" + json::quoted(format) + "}");
+  for (;;) {
+    const WireFrame frame = recv_checked();
+    if (frame.type == MsgType::kStats) return frame.payload;
+    if (frame.type == MsgType::kRejected) {
+      throw WireError("kStats rejected: " + frame.payload);
+    }
+    if (absorb_push(frame)) continue;
+    throw WireError("unexpected reply to kStats: " + frame.payload);
+  }
+}
+
 }  // namespace fasda::serve

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <utility>
 
+#include "fasda/obs/server_stats.hpp"
 #include "fasda/util/crc32.hpp"
 
 namespace fasda::serve {
@@ -124,7 +125,8 @@ Journal::Journal(Journal&& o) noexcept
     : fd_(std::exchange(o.fd_, -1)),
       path_(std::move(o.path_)),
       bytes_(std::exchange(o.bytes_, 0)),
-      fsync_policy_(o.fsync_policy_) {}
+      fsync_policy_(o.fsync_policy_),
+      observer_(std::move(o.observer_)) {}
 
 Journal& Journal::operator=(Journal&& o) noexcept {
   if (this != &o) {
@@ -133,6 +135,7 @@ Journal& Journal::operator=(Journal&& o) noexcept {
     path_ = std::move(o.path_);
     bytes_ = std::exchange(o.bytes_, 0);
     fsync_policy_ = o.fsync_policy_;
+    observer_ = std::move(o.observer_);
   }
   return *this;
 }
@@ -214,12 +217,17 @@ void Journal::open_appending(const std::string& path,
 
 void Journal::append(JournalRecord type, std::string_view payload) {
   if (fd_ < 0) throw JournalError("append on a closed journal");
+  const std::uint64_t t0 = observer_ ? obs::wall_micros() : 0;
   const std::vector<std::uint8_t> buf = encode_journal_record(type, payload);
   write_file_all(fd_, buf.data(), buf.size());
+  std::uint64_t fsync_us = 0;
   if (fsync_policy_ == JournalFsync::kAlways) {
+    const std::uint64_t f0 = observer_ ? obs::wall_micros() : 0;
     if (::fsync(fd_) != 0) throw JournalError(errno_str("fsync"));
+    if (observer_) fsync_us = obs::wall_micros() - f0;
   }
   bytes_ += buf.size();
+  if (observer_) observer_(obs::wall_micros() - t0, fsync_us);
 }
 
 void Journal::rotate(const std::vector<JournalEntry>& compacted) {

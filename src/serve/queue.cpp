@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "fasda/obs/server_stats.hpp"
+
 namespace fasda::serve {
 
 const char* admit_reason(Admit a) {
@@ -56,8 +58,12 @@ JobQueue::Ticket JobQueue::enqueue_locked(const std::string& tenant,
   entry.tenant = tenant;
   entry.work =
       std::make_shared<std::function<void()>>(std::move(work));
+  if (stats_ != nullptr) entry.enqueued_us = obs::wall_micros();
   ++tenant_load_[tenant];
   pending_.insert(std::move(entry));
+  if (stats_ != nullptr) {
+    stats_->set(stats_->queue_depth, static_cast<double>(pending_.size()));
+  }
   cv_work_.notify_one();
   return {Admit::kAdmitted, next_seq_ - 1};
 }
@@ -67,13 +73,24 @@ bool JobQueue::pop_locked(Entry& out) {
   auto node = pending_.extract(pending_.begin());
   out = std::move(node.value());
   ++running_;
+  if (stats_ != nullptr) {
+    stats_->set(stats_->queue_depth, static_cast<double>(pending_.size()));
+    stats_->set(stats_->jobs_running, static_cast<double>(running_));
+  }
   return true;
 }
 
 void JobQueue::run_entry(Entry entry) {
+  if (stats_ != nullptr && entry.enqueued_us != 0) {
+    stats_->observe(stats_->queue_wait_us,
+                    obs::wall_micros() - entry.enqueued_us);
+  }
   (*entry.work)();
   std::lock_guard<std::mutex> lock(mu_);
   --running_;
+  if (stats_ != nullptr) {
+    stats_->set(stats_->jobs_running, static_cast<double>(running_));
+  }
   auto it = tenant_load_.find(entry.tenant);
   if (it != tenant_load_.end() && --it->second == 0) tenant_load_.erase(it);
   cv_idle_.notify_all();

@@ -16,6 +16,7 @@
 
 #include "fasda/md/checkpoint.hpp"
 #include "fasda/serve/json.hpp"
+#include "fasda/util/log.hpp"
 
 namespace fasda::serve {
 namespace {
@@ -97,6 +98,14 @@ struct Server::Job {
 
   std::uint64_t id = 0;
   JobRequest req;
+  /// Wall-clock span id (DESIGN.md §17): assigned at first admission,
+  /// persisted in the kAdmitted journal record, and reused verbatim by
+  /// every later incarnation — the token that stitches this job's trace
+  /// spans across kill -9 restarts.
+  std::uint64_t span = 0;
+  /// wall_micros() when this incarnation (re-)admitted the job; anchors
+  /// the submit→result latency observation.
+  std::uint64_t admitted_us = 0;
   /// Set (before the job is visible to workers) when this incarnation
   /// re-admitted or restored the job from the journal.
   bool recovered = false;
@@ -117,6 +126,9 @@ struct Server::Job {
 
 Server::Server(ServerConfig config)
     : config_(std::move(config)), queue_(config_.queue) {
+  stats_.set_enabled(config_.wall_obs);
+  trace_.set_enabled(config_.wall_obs);
+  queue_.set_stats(&stats_);
   if (::pipe(drain_pipe_) != 0) {
     throw WireError(std::string("pipe: ") + std::strerror(errno));
   }
@@ -127,6 +139,7 @@ Server::Server(ServerConfig config)
 Server::~Server() { stop(); }
 
 void Server::start() {
+  start_us_ = obs::wall_micros();
   if (!config_.state_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(config_.state_dir, ec);
@@ -139,6 +152,16 @@ void Server::start() {
       std::lock_guard<std::mutex> lock(journal_mu_);
       journal_.open_appending(journal_path(), recovery_report_,
                               config_.journal_fsync);
+      if (config_.wall_obs) {
+        journal_.set_append_observer(
+            [this](std::uint64_t append_us, std::uint64_t fsync_us) {
+              stats_.add(stats_.journal_appends);
+              stats_.observe(stats_.journal_append_us, append_us);
+              if (fsync_us > 0) {
+                stats_.observe(stats_.journal_fsync_us, fsync_us);
+              }
+            });
+      }
     }
     journal_ok_.store(true);
     recovering_.store(true);
@@ -146,11 +169,21 @@ void Server::start() {
   auto [fd, port] = listen_on(config_.host, config_.port);
   listen_fd_ = fd;
   port_ = port;
+  trace_.instant(0, start_us_, "incarnation-start");
   queue_.start_workers(config_.queue_workers);
   if (!config_.state_dir.empty()) {
     recovery_thread_ = std::thread([this] { recover_and_admit(); });
   }
   accept_thread_ = std::thread([this] { accept_loop(); });
+  if (config_.wall_obs &&
+      (!config_.metrics_out.empty() || !config_.trace_out.empty())) {
+    metrics_thread_ = std::thread([this] { metrics_loop(); });
+  }
+  util::slog(util::LogLevel::kInfo, util::LogFields("serve.server"),
+             "listening on %s:%u (workers=%zu state_dir=%s)",
+             config_.host.c_str(), static_cast<unsigned>(port_),
+             config_.queue_workers,
+             config_.state_dir.empty() ? "-" : config_.state_dir.c_str());
   started_.store(true);
 }
 
@@ -209,6 +242,15 @@ void Server::stop() {
     std::lock_guard<std::mutex> lock(journal_mu_);
     journal_.close();
   }
+  {
+    std::lock_guard<std::mutex> lock(metrics_cv_mu_);
+    metrics_stop_ = true;
+  }
+  metrics_cv_.notify_all();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+  // One final dump after every worker is quiet, so the files on disk
+  // reflect the complete incarnation (the periodic dumps are prefixes).
+  dump_wall_obs();
   for (int& fd : drain_pipe_) {
     if (fd >= 0) {
       ::close(fd);
@@ -288,6 +330,8 @@ void Server::accept_loop() {
     conn->conn.set_recv_timeout(config_.recv_timeout_seconds);
     conn->conn.set_send_timeout(config_.send_timeout_seconds);
     conns_.emplace(conn->id, conn);
+    stats_.add(stats_.conns_accepted);
+    stats_.set(stats_.conns_active, static_cast<double>(conns_.size()));
     conn_threads_.emplace(
         conn->id, std::thread([this, conn] { connection_loop(std::move(conn)); }));
   }
@@ -303,6 +347,13 @@ void Server::connection_loop(std::shared_ptr<ConnState> conn) {
       break;  // peer closed / timeout / shutdown by stop()
     }
     if (st != DecodeStatus::kFrame) {
+      switch (st) {
+        case DecodeStatus::kBadLength:
+          stats_.add(stats_.frames_bad_length);
+          break;
+        case DecodeStatus::kBadCrc: stats_.add(stats_.frames_bad_crc); break;
+        default: stats_.add(stats_.frames_bad_type); break;
+      }
       // Protocol violation: answer with the typed reason, then close.
       // After a bad length or CRC the stream cannot be resynchronized.
       conn->send_safe(MsgType::kError, std::string("{\"reason\":") +
@@ -311,13 +362,16 @@ void Server::connection_loop(std::shared_ptr<ConnState> conn) {
                                            "}");
       break;
     }
+    stats_.add(stats_.frames_decoded);
     switch (frame.type) {
       case MsgType::kSubmit: handle_submit(*conn, frame.payload); break;
       case MsgType::kQuery: handle_query(*conn, frame.payload); break;
       case MsgType::kPing: handle_ping(*conn); break;
+      case MsgType::kStats: handle_stats(*conn, frame.payload); break;
       default:
         // A CRC-valid frame whose type only a server may send: treat as a
         // protocol violation like an unknown type.
+        stats_.add(stats_.frames_bad_type);
         conn->send_safe(MsgType::kError,
                         "{\"reason\":\"unexpected-type\"}");
         conn->alive.store(false);
@@ -338,6 +392,8 @@ void Server::reap_connection(std::uint64_t conn_id) {
   // handle to the finished list — anyone may join it except this thread.
   std::lock_guard<std::mutex> lock(conns_mu_);
   conns_.erase(conn_id);
+  stats_.add(stats_.conns_closed);
+  stats_.set(stats_.conns_active, static_cast<double>(conns_.size()));
   const auto it = conn_threads_.find(conn_id);
   if (it != conn_threads_.end()) {
     finished_conn_threads_.push_back(std::move(it->second));
@@ -377,6 +433,7 @@ void Server::handle_submit(ConnState& conn, const std::string& payload) {
     // Payload-level failure: the frame itself was valid, so the connection
     // stays open and the tenant may retry with a fixed request.
     jobs_rejected_.fetch_add(1);
+    stats_.add(stats_.rejected_bad_request);
     conn.send_safe(MsgType::kRejected,
                    "{\"reason\":\"bad-request\",\"detail\":" +
                        json::quoted(error) + "}");
@@ -386,6 +443,7 @@ void Server::handle_submit(ConnState& conn, const std::string& payload) {
   if (recovering_.load()) {
     // Journal replay in progress: the idempotency map is not rebuilt yet,
     // so admitting now could double-run a resubmitted job. Retryable.
+    stats_.add(stats_.rejected_recovering);
     conn.send_safe(MsgType::kRecovering, "{\"reason\":\"recovering\"}");
     return;
   }
@@ -434,6 +492,11 @@ void Server::handle_submit(ConnState& conn, const std::string& payload) {
   job->id = next_job_id_++;
   job->req = *req;
   job->subscriber = self;
+  // Span id: unique across incarnations (start_us_ differs per boot, the
+  // job id per job) and comfortably below 2^53 so JSON consumers keep it
+  // exact. Persisted in the kAdmitted record below; recovery reuses it.
+  job->span = start_us_ ^ job->id;
+  job->admitted_us = obs::wall_micros();
   jobs_.emplace(job->id, job);
   if (!req->idempotency.empty()) idempotency_[req->idempotency] = job->id;
 
@@ -448,6 +511,7 @@ void Server::handle_submit(ConnState& conn, const std::string& payload) {
   // reproduces the original deterministic schedule.
   journal_append(JournalRecord::kAdmitted,
                  "{\"job\":" + std::to_string(job->id) +
+                     ",\"span\":" + std::to_string(job->span) +
                      ",\"request\":" + job->req.to_json() + "}");
   const JobQueue::Ticket ticket = queue_.submit(
       req->tenant, req->priority, [this, job] { run_job(job); });
@@ -461,13 +525,30 @@ void Server::handle_submit(ConnState& conn, const std::string& payload) {
     job_lock.unlock();
     jobs_lock.unlock();
     jobs_rejected_.fetch_add(1);
+    switch (ticket.status) {
+      case Admit::kQueueFull: stats_.add(stats_.rejected_queue_full); break;
+      case Admit::kTenantQuota:
+        stats_.add(stats_.rejected_tenant_quota);
+        break;
+      case Admit::kDraining: stats_.add(stats_.rejected_draining); break;
+      default: stats_.add(stats_.rejected_stopped); break;
+    }
+    stats_.tenant_add(req->tenant, "rejected");
     conn.send_safe(MsgType::kRejected,
                    std::string("{\"reason\":") +
                        json::quoted(admit_reason(ticket.status)) + "}");
     return;
   }
+  // The "job" span opens here and closes when run_job sends the result;
+  // "queued" nests inside it. Emitting under job->mu is race-free because
+  // run_job's first action takes the same mutex.
+  trace_.begin(job->id, job->span, "job", req->tenant);
+  trace_.begin(job->id, job->span, "queued");
   jobs_lock.unlock();
   jobs_submitted_.fetch_add(1);
+  stats_.add(stats_.jobs_submitted);
+  stats_.tenant_add(req->tenant, "submitted");
+  stats_.tenant_add(req->tenant, "bytes_in", payload.size());
   conn.send_safe(MsgType::kAccepted,
                  "{\"job\":" + std::to_string(job->id) +
                      ",\"seq\":" + std::to_string(ticket.seq) + "}");
@@ -486,9 +567,12 @@ void Server::run_job(std::shared_ptr<Job> job) {
     hooks.resume = std::move(job->resume);
     job->resume.clear();
     use_hooks = !hooks.resume.empty();
+    trace_.end(job->id, job->span, "queued");
+    trace_.begin(job->id, job->span, "execute");
   }
   journal_append(JournalRecord::kStarted,
                  "{\"job\":" + std::to_string(job->id) + "}");
+  const std::uint64_t exec_start_us = obs::wall_micros();
 
   // Per-replica status publisher: every sample lands in the job's obs
   // registry (under job->mu, preserving the registry's single-writer
@@ -542,6 +626,7 @@ void Server::run_job(std::shared_ptr<Job> job) {
                      "{\"job\":" + std::to_string(job->id) +
                          ",\"replica\":" + std::to_string(replica) +
                          ",\"step\":" + std::to_string(step) + "}");
+      trace_.instant(job->id, job->span, "checkpoint", step, "step");
       if (previous > 0 && previous != step) {
         ::unlink(checkpoint_file(job->id, replica, previous).c_str());
       }
@@ -562,6 +647,8 @@ void Server::run_job(std::shared_ptr<Job> job) {
     result.replicas[0].error = e.what();
   }
 
+  stats_.observe(stats_.execute_us, obs::wall_micros() - exec_start_us);
+
   std::string result_json;
   std::shared_ptr<ConnState> push_to;
   {
@@ -575,12 +662,16 @@ void Server::run_job(std::shared_ptr<Job> job) {
     std::lock_guard<std::mutex> jobs_lock(jobs_mu_);
     std::lock_guard<std::mutex> lock(job->mu);
     result_json = result.to_json();
+    trace_.end(job->id, job->span, "execute");
     journal_append(JournalRecord::kCompleted,
                    "{\"job\":" + std::to_string(job->id) +
                        ",\"tenant\":" + json::quoted(job->req.tenant) +
                        ",\"idempotency\":" +
                        json::quoted(job->req.idempotency) +
                        ",\"result\":" + result_json + "}");
+    if (journal_enabled()) {
+      trace_.instant(job->id, job->span, "durable");
+    }
     job->state = Job::State::kDone;
     job->result = result;
     // The observers' lambdas capture a shared_ptr back to this job; they
@@ -592,10 +683,20 @@ void Server::run_job(std::shared_ptr<Job> job) {
     reap_history_locked();
   }
   jobs_completed_.fetch_add(1);
+  stats_.add(stats_.jobs_completed);
+  stats_.tenant_add(job->req.tenant, "completed");
+  stats_.tenant_add(job->req.tenant, "bytes_out", result_json.size());
+  if (job->admitted_us != 0) {
+    stats_.observe(stats_.submit_to_result_us,
+                   obs::wall_micros() - job->admitted_us);
+  }
   remove_job_checkpoints(job->id);
   if (push_to) {
-    push_to->send_safe(MsgType::kResult, result_json);
+    if (push_to->send_safe(MsgType::kResult, result_json)) {
+      trace_.instant(job->id, job->span, "result-sent");
+    }
   }
+  trace_.end(job->id, job->span, "job");
   if (journal_enabled()) {
     bool oversized = false;
     {
@@ -662,6 +763,10 @@ void Server::handle_query(ConnState& conn, const std::string& payload) {
 }
 
 void Server::handle_ping(ConnState& conn) {
+  conn.send_safe(MsgType::kPong, health_json());
+}
+
+std::string Server::health_json() {
   std::string out = "{\"queued\":" + std::to_string(queue_.queued());
   out += ",\"running\":" + std::to_string(queue_.running());
   out += ",\"submitted\":" + std::to_string(jobs_submitted_.load());
@@ -671,8 +776,99 @@ void Server::handle_ping(ConnState& conn) {
          (queue_.draining() ? "true" : "false");
   out += std::string(",\"recovering\":") +
          (recovering_.load() ? "true" : "false");
+  // PR 10 enrichment: capacity, durability and recovery-window facts an
+  // operator's first ping should answer without a log dive.
+  out += ",\"workers\":" + std::to_string(config_.queue_workers);
+  out += ",\"connections\":" + std::to_string(connections());
+  out += std::string(",\"journal\":\"") +
+         (config_.state_dir.empty()
+              ? "none"
+              : (journal_enabled() ? "enabled" : "disabled")) +
+         "\"";
+  out += std::string(",\"fsync\":\"") +
+         (config_.journal_fsync == JournalFsync::kAlways ? "always"
+                                                         : "never") +
+         "\"";
+  out += ",\"recovered\":" + std::to_string(jobs_recovered_.load());
+  out += ",\"resumed\":" + std::to_string(jobs_resumed_.load());
+  out += ",\"results_restored\":" + std::to_string(results_restored_.load());
+  out += ",\"uptime_us\":" +
+         std::to_string(start_us_ == 0 ? 0 : obs::wall_micros() - start_us_);
   out += "}";
-  conn.send_safe(MsgType::kPong, out);
+  return out;
+}
+
+void Server::handle_stats(ConnState& conn, const std::string& payload) {
+  std::string format = "json";
+  std::string error;
+  if (!payload.empty()) {
+    const auto parsed = json::parse(payload, &error);
+    if (parsed) {
+      if (const json::Value* f = parsed->find("format")) {
+        format = f->str_or("json");
+      }
+    }
+  }
+  if (format == "prometheus") {
+    conn.send_safe(MsgType::kStats, stats_prometheus());
+    return;
+  }
+  if (format != "json") {
+    conn.send_safe(MsgType::kRejected,
+                   "{\"reason\":\"bad-request\",\"detail\":\"format must be "
+                   "json or prometheus\"}");
+    return;
+  }
+  conn.send_safe(MsgType::kStats, stats_json());
+}
+
+std::string Server::stats_json() {
+  refresh_wall_gauges();
+  std::string metrics = stats_.snapshot().to_json();
+  while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+  return "{\"server\":" + health_json() + ",\"wall\":" + metrics +
+         ",\"trace_events\":" + std::to_string(trace_.size()) +
+         ",\"trace_dropped\":" + std::to_string(trace_.dropped()) + "}";
+}
+
+std::string Server::stats_prometheus() {
+  refresh_wall_gauges();
+  return stats_.snapshot().to_prometheus();
+}
+
+void Server::refresh_wall_gauges() {
+  stats_.set(stats_.queue_depth, static_cast<double>(queue_.queued()));
+  stats_.set(stats_.jobs_running, static_cast<double>(queue_.running()));
+  stats_.set(stats_.conns_active, static_cast<double>(connections()));
+  stats_.set(stats_.uptime_seconds,
+             start_us_ == 0
+                 ? 0.0
+                 : static_cast<double>(obs::wall_micros() - start_us_) / 1e6);
+  stats_.set(stats_.recovering, recovering_.load() ? 1.0 : 0.0);
+}
+
+void Server::dump_wall_obs() {
+  if (!config_.wall_obs) return;
+  if (!config_.metrics_out.empty()) {
+    obs::write_text_file(config_.metrics_out, stats_prometheus());
+  }
+  if (!config_.trace_out.empty()) {
+    obs::write_text_file(config_.trace_out, trace_.to_chrome_json());
+  }
+}
+
+void Server::metrics_loop() {
+  const auto period =
+      std::chrono::seconds(std::max(1, config_.metrics_every_seconds));
+  std::unique_lock<std::mutex> lock(metrics_cv_mu_);
+  for (;;) {
+    if (metrics_cv_.wait_for(lock, period, [this] { return metrics_stop_; })) {
+      return;  // stop() dumps once more after the workers are quiet
+    }
+    lock.unlock();
+    dump_wall_obs();
+    lock.lock();
+  }
 }
 
 std::string Server::journal_path() const {
@@ -703,11 +899,17 @@ void Server::journal_append(JournalRecord type, const std::string& payload) {
     // the operator sees why durability lapsed.
     journal_ok_.store(false);
     journal_.close();
-    std::fprintf(stderr, "fasda_serve: journal disabled: %s\n", e.what());
+    stats_.add(stats_.journal_disabled);
+    util::slog(util::LogLevel::kError, util::LogFields("serve.journal"),
+               "journal disabled: %s", e.what());
   }
 }
 
 void Server::recover_and_admit() {
+  const std::uint64_t recovery_t0 = obs::wall_micros();
+  // The recovery span lives on the server-level track (job 0); its span id
+  // is this incarnation's start_us_, which is unique per boot.
+  trace_.begin(0, start_us_, "recovery");
   if (config_.recovery_delay_ms > 0) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(config_.recovery_delay_ms));
@@ -724,6 +926,7 @@ void Server::recover_and_admit() {
   };
   std::vector<std::uint64_t> admitted_order;
   std::unordered_map<std::uint64_t, JobRequest> admitted;
+  std::unordered_map<std::uint64_t, std::uint64_t> spans;
   std::unordered_set<std::uint64_t> dead;
   std::vector<std::uint64_t> done_order;
   std::unordered_map<std::uint64_t, CompletedInfo> completed;
@@ -749,6 +952,14 @@ void Server::recover_and_admit() {
         if (!req) break;
         if (!admitted.count(id)) admitted_order.push_back(id);
         admitted[id] = *req;
+        // The persisted wall-clock span id (PR 10): reusing it is what
+        // stitches this job's spans across incarnations. Journals written
+        // before PR 10 have no "span" key; those jobs get a fresh id.
+        if (const json::Value* sp = parsed->find("span")) {
+          if (sp->is_number() && sp->integral && sp->integer > 0) {
+            spans[id] = static_cast<std::uint64_t>(sp->integer);
+          }
+        }
         break;
       }
       case JournalRecord::kStarted:
@@ -801,10 +1012,18 @@ void Server::recover_and_admit() {
       job->recovered = true;
       job->state = Job::State::kDone;
       job->result = info.result;
+      const auto sit = spans.find(id);
+      job->span = sit != spans.end() ? sit->second : (start_us_ ^ id);
       jobs_.emplace(id, job);
       finished_order_.push_back(id);
       if (!info.idempotency.empty()) idempotency_[info.idempotency] = id;
       results_restored_.fetch_add(1);
+      stats_.add(stats_.results_restored);
+      // Mark the restoration on the job's own track under its persisted
+      // span id: the previous incarnation's dump shows the same id, so the
+      // trace records that this job's result outlived the crash
+      // (validate_trace.py --expect-stitched counts exactly these).
+      trace_.instant(id, job->span, "result-restored");
     }
     reap_history_locked();
   }
@@ -823,6 +1042,9 @@ void Server::recover_and_admit() {
     job->req = admitted.at(id);
     job->recovered = true;
     job->state = Job::State::kRecovering;
+    const auto sit = spans.find(id);
+    job->span = sit != spans.end() ? sit->second : (start_us_ ^ id);
+    job->admitted_us = obs::wall_micros();
     if (job->req.supervise) {
       const auto cit = checkpoints.find(id);
       if (cit != checkpoints.end()) {
@@ -877,7 +1099,20 @@ void Server::recover_and_admit() {
   for (const std::shared_ptr<Job>& job : to_admit) {
     if (stopping_.load()) break;
     jobs_recovered_.fetch_add(1);
-    if (!job->resume.empty()) jobs_resumed_.fetch_add(1);
+    stats_.add(stats_.jobs_recovered);
+    if (!job->resume.empty()) {
+      jobs_resumed_.fetch_add(1);
+      stats_.add(stats_.jobs_resumed);
+    }
+    // Re-open the job's spans under its persisted span id before the queue
+    // can start it: a worker popping it immediately still finds a "queued"
+    // span to close. The previous incarnation's dump shows the same span
+    // id with no end — validate_trace.py stitches the two on exactly that.
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      trace_.begin(job->id, job->span, "job", job->req.tenant);
+      trace_.begin(job->id, job->span, "queued");
+    }
     const JobQueue::Ticket ticket = queue_.readmit(
         job->req.tenant, job->req.priority, [this, job] { run_job(job); });
     if (ticket.status != Admit::kAdmitted) break;  // stopped underneath us
@@ -885,6 +1120,20 @@ void Server::recover_and_admit() {
 
   if (!stopping_.load()) compact_journal();
   recovering_.store(false);
+  const std::uint64_t recovery_us = obs::wall_micros() - recovery_t0;
+  stats_.observe(stats_.recovery_us, recovery_us);
+  trace_.end(0, start_us_, "recovery");
+  if (!recovery_report_.entries.empty() || jobs_recovered_.load() > 0) {
+    util::slog(util::LogLevel::kInfo, util::LogFields("serve.recovery"),
+               "replayed %zu records in %llu us: %llu re-admitted "
+               "(%llu resumed), %llu results restored, tail %s",
+               recovery_report_.entries.size(),
+               static_cast<unsigned long long>(recovery_us),
+               static_cast<unsigned long long>(jobs_recovered_.load()),
+               static_cast<unsigned long long>(jobs_resumed_.load()),
+               static_cast<unsigned long long>(results_restored_.load()),
+               journal_tail_name(recovery_report_.tail));
+  }
 }
 
 void Server::compact_journal() {
@@ -922,6 +1171,7 @@ void Server::compact_journal() {
     if (job->state == Job::State::kDone) continue;  // emitted above
     entries.push_back({JournalRecord::kAdmitted,
                        "{\"job\":" + std::to_string(job->id) +
+                           ",\"span\":" + std::to_string(job->span) +
                            ",\"request\":" + job->req.to_json() + "}"});
     for (const auto& [replica, step] : job->banked) {
       entries.push_back({JournalRecord::kCheckpoint,
@@ -934,10 +1184,13 @@ void Server::compact_journal() {
   if (!journal_.is_open()) return;
   try {
     journal_.rotate(entries);
+    stats_.add(stats_.journal_rotations);
   } catch (const JournalError& e) {
     journal_ok_.store(false);
     journal_.close();
-    std::fprintf(stderr, "fasda_serve: journal disabled: %s\n", e.what());
+    stats_.add(stats_.journal_disabled);
+    util::slog(util::LogLevel::kError, util::LogFields("serve.journal"),
+               "journal disabled: %s", e.what());
   }
 }
 

@@ -7,6 +7,7 @@
 #include "fasda/md/checkpoint.hpp"
 #include "fasda/obs/obs.hpp"
 #include "fasda/sync/sync.hpp"
+#include "fasda/util/log.hpp"
 
 namespace fasda::supervisor {
 
@@ -108,11 +109,22 @@ RunReport Supervisor::run(int steps,
     // Exactly one bus event per recorded incident, stamped with the same
     // detection cycle the Incident carries (tests/supervisor_test.cpp).
     supervisor_event("incident", node, detected_at, "attempt", attempt);
+    // The structured log is the wall-clock side of the same story (two
+    // planes, DESIGN.md §17): the bus event is deterministic, this line is
+    // for the operator reading the daemon's JSON log.
+    util::slog(util::LogLevel::kInfo, util::LogFields("supervisor"),
+               "incident: node=%d attempt=%d at_step=%lld: %s",
+               static_cast<int>(node), attempt,
+               static_cast<long long>(ckpt.step), what.c_str());
 
     if (report.restarts >= config_.max_restarts) {
       report.final_error = what;
       supervisor_event("give-up", node, detected_at, "restarts",
                        report.restarts);
+      util::slog(util::LogLevel::kWarn, util::LogFields("supervisor"),
+                 "giving up after %d restarts at step %lld: %s",
+                 report.restarts, static_cast<long long>(ckpt.step),
+                 what.c_str());
       return false;
     }
     ++report.restarts;
@@ -125,6 +137,9 @@ RunReport Supervisor::run(int steps,
       report.degraded = true;
       report.incidents.back().caused_reshard = true;
       supervisor_event("reshard", node, detected_at, "attempt", attempt);
+      util::slog(util::LogLevel::kInfo, util::LogFields("supervisor"),
+                 "resharding around node %d (attempt %d)",
+                 static_cast<int>(node), attempt);
       return true;
     }
     // Same-topology restart: the board rebooted, which clears its transient
@@ -176,6 +191,9 @@ RunReport Supervisor::run(int steps,
     supervisor_event("checkpoint", obs::kClusterPid,
                      engine->metrics().total_cycles, "step",
                      static_cast<std::int64_t>(ckpt.step));
+    util::slog(util::LogLevel::kDebug, util::LogFields("supervisor"),
+               "checkpoint banked at step %lld",
+               static_cast<long long>(ckpt.step));
     report.steps = ckpt.step;
     for (Incident& inc : report.incidents) inc.recovered = true;
     if (config_.checkpoint_path_for) {

@@ -1,6 +1,8 @@
 #include "fasda/util/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <mutex>
 #include <stdexcept>
@@ -11,7 +13,62 @@ namespace fasda::util {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_emit_mutex;
-LogSink g_sink;  // guarded by g_emit_mutex
+LogSink g_sink;                  // guarded by g_emit_mutex
+std::FILE* g_json = nullptr;     // guarded by g_emit_mutex
+std::atomic<bool> g_json_open{false};
+
+const char* json_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+void json_escaped(std::FILE* f, std::string_view s) {
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', f);
+      std::fputc(c, f);
+    } else if (u < 0x20) {
+      std::fprintf(f, "\\u%04x", u);
+    } else {
+      std::fputc(c, f);
+    }
+  }
+}
+
+/// One JSON line per message; caller holds g_emit_mutex.
+void json_emit_locked(LogLevel level, const LogFields& fields,
+                      std::string_view msg) {
+  if (g_json == nullptr) return;
+  const auto ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+  std::fprintf(g_json, "{\"ts_us\":%lld,\"level\":\"%s\"",
+               static_cast<long long>(ts_us), json_level_name(level));
+  if (!fields.component.empty()) {
+    std::fputs(",\"component\":\"", g_json);
+    json_escaped(g_json, fields.component);
+    std::fputc('"', g_json);
+  }
+  if (fields.job != 0) {
+    std::fprintf(g_json, ",\"job\":%" PRIu64, fields.job);
+  }
+  if (!fields.tenant.empty()) {
+    std::fputs(",\"tenant\":\"", g_json);
+    json_escaped(g_json, fields.tenant);
+    std::fputc('"', g_json);
+  }
+  std::fputs(",\"msg\":\"", g_json);
+  json_escaped(g_json, msg);
+  std::fputs("\"}\n", g_json);
+  std::fflush(g_json);
+}
 }  // namespace
 
 const char* log_level_name(LogLevel level) noexcept {
@@ -43,28 +100,59 @@ void set_log_sink(LogSink sink) {
   g_sink = std::move(sink);
 }
 
-namespace detail {
-void log_emit(LogLevel level, const char* fmt, std::va_list args) {
+bool open_json_log(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return false;
   std::lock_guard lock(g_emit_mutex);
+  if (g_json != nullptr) std::fclose(g_json);
+  g_json = f;
+  g_json_open.store(true);
+  return true;
+}
+
+void close_json_log() {
+  std::lock_guard lock(g_emit_mutex);
+  if (g_json != nullptr) {
+    std::fclose(g_json);
+    g_json = nullptr;
+  }
+  g_json_open.store(false);
+}
+
+bool json_log_active() { return g_json_open.load(); }
+
+namespace detail {
+void log_emit(LogLevel level, const LogFields& fields, const char* fmt,
+              std::va_list args) {
+  std::lock_guard lock(g_emit_mutex);
+  // Format once to a buffer: the sink contract and the JSON sink both need
+  // one complete line.
+  char stack_buf[512];
+  std::string big;
+  std::va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(stack_buf, sizeof stack_buf, fmt, copy);
+  va_end(copy);
+  if (n < 0) return;
+  std::string_view msg;
+  if (static_cast<std::size_t>(n) < sizeof stack_buf) {
+    msg = std::string_view(stack_buf, static_cast<std::size_t>(n));
+  } else {
+    big.assign(static_cast<std::size_t>(n) + 1, '\0');
+    std::vsnprintf(big.data(), big.size(), fmt, args);
+    msg = std::string_view(big.data(), static_cast<std::size_t>(n));
+  }
+  json_emit_locked(level, fields, msg);
   if (g_sink) {
-    // Format to a buffer so the sink sees one complete line.
-    char stack_buf[512];
-    std::va_list copy;
-    va_copy(copy, args);
-    const int n = std::vsnprintf(stack_buf, sizeof stack_buf, fmt, copy);
-    va_end(copy);
-    if (n < 0) return;
-    if (static_cast<std::size_t>(n) < sizeof stack_buf) {
-      g_sink(level, std::string_view(stack_buf, static_cast<std::size_t>(n)));
-    } else {
-      std::string big(static_cast<std::size_t>(n) + 1, '\0');
-      std::vsnprintf(big.data(), big.size(), fmt, args);
-      g_sink(level, std::string_view(big.data(), static_cast<std::size_t>(n)));
-    }
+    g_sink(level, msg);
     return;
   }
   std::fprintf(stderr, "[fasda %-5s] ", log_level_name(level));
-  std::vfprintf(stderr, fmt, args);
+  if (!fields.component.empty()) {
+    std::fprintf(stderr, "%.*s: ", static_cast<int>(fields.component.size()),
+                 fields.component.data());
+  }
+  std::fwrite(msg.data(), 1, msg.size(), stderr);
   std::fputc('\n', stderr);
 }
 }  // namespace detail

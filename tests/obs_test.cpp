@@ -19,6 +19,7 @@
 #include "fasda/core/simulation.hpp"
 #include "fasda/md/dataset.hpp"
 #include "fasda/obs/obs.hpp"
+#include "fasda/obs/server_stats.hpp"
 #include "fasda/util/log.hpp"
 
 namespace fasda {
@@ -114,6 +115,146 @@ TEST(ObsSnapshot, ExportsBothFormats) {
   const std::string prom = snap.to_prometheus();
   EXPECT_NE(prom.find("fasda_net_pkts"), std::string::npos);
   EXPECT_NE(prom.find("fasda_sim_rate 0.125"), std::string::npos);
+}
+
+TEST(ObsSnapshot, PrometheusEmitsHelpAndType) {
+  obs::Registry r;
+  r.ensure_nodes(1);
+  r.add(0, r.counter("net.pkts", "packets on the wire"), 1);
+  r.set(obs::kClusterNode, r.gauge("sim.rate"), 1.0);
+  const std::string prom = r.snapshot().to_prometheus();
+  // HELP precedes TYPE per family; explicit help text is used verbatim,
+  // and a help-less metric documents at least its dotted origin name.
+  EXPECT_NE(prom.find("# HELP fasda_net_pkts packets on the wire\n"
+                      "# TYPE fasda_net_pkts counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# HELP fasda_sim_rate sim.rate\n"
+                      "# TYPE fasda_sim_rate gauge\n"),
+            std::string::npos);
+  // First non-empty help wins; re-registration cannot blank it.
+  r.counter("net.pkts");
+  EXPECT_NE(r.snapshot().to_prometheus().find("packets on the wire"),
+            std::string::npos);
+}
+
+TEST(ObsSnapshot, PrometheusHistogramNativeExposition) {
+  obs::Registry r;
+  r.ensure_nodes(1);
+  const obs::Handle h = r.histogram("lat.us", "request latency");
+  r.observe(0, h, 0);     // bucket 0 (le 0)
+  r.observe(0, h, 1);     // bucket 1 (le 1)
+  r.observe(0, h, 3);     // bucket 2 (le 3)
+  r.observe(0, h, 1000);  // bucket 10 (le 1023)
+  const std::string prom = r.snapshot().to_prometheus();
+  EXPECT_NE(prom.find("# TYPE fasda_lat_us histogram"), std::string::npos);
+  // Cumulative le buckets: upper bound of bit-width bucket k is 2^k - 1.
+  EXPECT_NE(prom.find("fasda_lat_us_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fasda_lat_us_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fasda_lat_us_bucket{le=\"3\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fasda_lat_us_bucket{le=\"1023\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fasda_lat_us_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  // Native _sum/_count: the exact observed total, not a bucket estimate.
+  EXPECT_NE(prom.find("fasda_lat_us_sum 1004\n"), std::string::npos);
+  EXPECT_NE(prom.find("fasda_lat_us_count 4\n"), std::string::npos);
+}
+
+TEST(ObsSnapshot, HistogramSumMergesAndSurvivesImageFold) {
+  obs::Registry a;
+  a.ensure_nodes(2);
+  const obs::Handle ha = a.histogram("h");
+  a.observe(0, ha, 100);
+  a.observe(1, ha, 23);
+
+  // merge() adds sums (u64 wraparound, order-independent).
+  obs::Registry b;
+  b.ensure_nodes(2);
+  b.observe(0, b.histogram("h"), 7);
+  obs::MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  ASSERT_NE(merged.find("h"), nullptr);
+  EXPECT_EQ(merged.find("h")->sum, 130u);
+
+  // The proc-shard fold path (DESIGN.md §14): a NodeImage round trip must
+  // transport the per-node sums, not just the bucket counts.
+  obs::Registry c;
+  c.ensure_nodes(2);
+  c.histogram("h");
+  c.apply_image(a.image_nodes(0, 2));
+  const obs::MetricsSnapshot folded = c.snapshot();
+  ASSERT_NE(folded.find("h"), nullptr);
+  EXPECT_EQ(folded.find("h")->sum, 123u);
+  EXPECT_EQ(folded.find("h")->bucket_count(), 2u);
+}
+
+// ------------------------------------------- wall-clock serve plane (§17)
+
+TEST(ServerStats, TenantCountersAndDisableGate) {
+  obs::ServerStats stats;
+  stats.add(stats.jobs_submitted, 2);
+  stats.observe(stats.queue_wait_us, 1000);
+  stats.tenant_add("acme", "submitted");
+  stats.tenant_add("acme", "submitted");
+  stats.tenant_add("acme", "bytes_in", 512);
+  obs::MetricsSnapshot snap = stats.snapshot();
+  EXPECT_EQ(snap.counter_total("serve.jobs.submitted"), 2u);
+  EXPECT_EQ(snap.counter_total("serve.tenant.acme.submitted"), 2u);
+  EXPECT_EQ(snap.counter_total("serve.tenant.acme.bytes_in"), 512u);
+  ASSERT_NE(snap.find("serve.latency.queue_wait_us"), nullptr);
+  EXPECT_EQ(snap.find("serve.latency.queue_wait_us")->sum, 1000u);
+
+  // Disabled stats drop emissions before the lock — the metrics-off
+  // baseline the serve bench compares against.
+  stats.set_enabled(false);
+  stats.add(stats.jobs_submitted, 5);
+  stats.tenant_add("acme", "submitted");
+  snap = stats.snapshot();
+  EXPECT_EQ(snap.counter_total("serve.jobs.submitted"), 2u);
+  EXPECT_EQ(snap.counter_total("serve.tenant.acme.submitted"), 2u);
+}
+
+TEST(ServeTrace, ExportClosesOpenSpansAndKeepsSpanIds) {
+  obs::ServeTrace trace;
+  trace.begin(7, 12345, "job", "acme");
+  trace.begin(7, 12345, "queued");
+  trace.end(7, 12345, "queued");
+  trace.begin(7, 12345, "execute");  // left open, as after a kill -9
+  trace.instant(7, 12345, "checkpoint", 40, "step");
+  const std::string json = trace.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"span\":12345"), std::string::npos);
+  EXPECT_NE(json.find("\"tenant\":\"acme\""), std::string::npos);
+  EXPECT_NE(json.find("\"step\":40"), std::string::npos);
+  // Export-time closure: B job + B execute are still open, so the export
+  // appends synthetic E events — every B has a matching E.
+  std::size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"B\"", pos)) != std::string::npos) {
+    ++begins;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = json.find("\"ph\":\"E\"", pos)) != std::string::npos) {
+    ++ends;
+    ++pos;
+  }
+  EXPECT_EQ(begins, 3u);
+  EXPECT_EQ(ends, begins);
+  // The export is a snapshot: the recorder still holds the open spans.
+  EXPECT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(ServeTrace, WallMicrosIsMonotone) {
+  const std::uint64_t a = obs::wall_micros();
+  const std::uint64_t b = obs::wall_micros();
+  EXPECT_GE(b, a);
+  // Sanity: rebased to the realtime epoch (after 2020, before 2100).
+  EXPECT_GT(a, 1577836800ull * 1000000ull);
+  EXPECT_LT(a, 4102444800ull * 1000000ull);
 }
 
 // ---------------------------------------------------------- trace bus unit

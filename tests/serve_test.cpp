@@ -453,6 +453,129 @@ TEST(ServeFaults, PingReportsServerStats) {
 }
 
 // ====================================================================
+// 2b. Wall-clock observability plane (kStats, DESIGN.md §17)
+// ====================================================================
+
+// After a mixed two-tenant workload the kStats surface serves both bodies:
+// the JSON form parses and nests the health summary plus the wall-metric
+// series, and the Prometheus form carries native histograms (cumulative
+// le buckets, exact _sum/_count) and lazily-registered per-tenant
+// counters.
+TEST(ServeObs, StatsServesJsonAndPrometheusAfterMixedWorkload) {
+  ServerConfig config = test_config();
+  config.queue_workers = 2;
+  Server server(config);
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  JobRequest req = small_functional_job();
+  req.replicas = 1;
+  std::vector<std::uint64_t> ids;
+  for (const char* tenant : {"acme", "acme", "globex"}) {
+    req.tenant = tenant;
+    const auto reply = client.submit(req);
+    ASSERT_TRUE(reply.accepted) << reply.reason;
+    ids.push_back(reply.job_id);
+  }
+  for (const std::uint64_t id : ids) {
+    EXPECT_EQ(client.wait_result(id).outcome, JobOutcome::kOk);
+  }
+
+  std::string error;
+  const auto v = json::parse(client.stats("json"), &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  const json::Value* health = v->find("server");
+  ASSERT_NE(health, nullptr);
+  EXPECT_EQ(health->find("submitted")->int_or(-1), 3);
+  EXPECT_EQ(health->find("completed")->int_or(-1), 3);
+  const json::Value* wall = v->find("wall");
+  ASSERT_NE(wall, nullptr);
+  ASSERT_NE(wall->find("metrics"), nullptr);
+  EXPECT_TRUE(wall->find("metrics")->is_array());
+  EXPECT_GE(v->find("trace_events")->int_or(0), 3 * 5);
+
+  const std::string prom = client.stats("prometheus");
+  EXPECT_NE(prom.find("# TYPE fasda_serve_jobs_submitted counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fasda_serve_jobs_submitted 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("fasda_serve_jobs_completed 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("fasda_serve_tenant_acme_submitted 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fasda_serve_tenant_globex_submitted 1\n"),
+            std::string::npos);
+  // The latency histograms really observed the three jobs: native
+  // exposition with cumulative buckets and an exact count.
+  EXPECT_NE(prom.find("fasda_serve_latency_submit_to_result_us_bucket{le="),
+            std::string::npos);
+  EXPECT_NE(prom.find("fasda_serve_latency_submit_to_result_us_count 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fasda_serve_latency_queue_wait_us_count 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fasda_serve_latency_execute_us_sum"),
+            std::string::npos);
+  server.drain_and_stop();
+}
+
+// A bad format is a typed rejection (connection stays usable), and the
+// stats surface keeps answering while the daemon drains — exactly when an
+// operator most wants a scrape to work.
+TEST(ServeObs, StatsRejectsBadFormatAndAnswersWhileDraining) {
+  ServerConfig config = test_config();
+  config.queue_workers = 1;
+  Server server(config);
+  server.start();
+  Client client("127.0.0.1", server.port());
+
+  EXPECT_THROW(client.stats("xml"), WireError);
+  // Same connection still serves a good request after the rejection.
+  EXPECT_NE(client.stats("prometheus").find("fasda_serve_uptime_seconds"),
+            std::string::npos);
+
+  JobRequest req = small_functional_job();
+  req.replicas = 1;
+  const auto reply = client.submit(req);
+  ASSERT_TRUE(reply.accepted);
+  EXPECT_EQ(client.wait_result(reply.job_id).outcome, JobOutcome::kOk);
+
+  server.begin_drain();
+  std::string error;
+  const auto v = json::parse(client.stats("json"), &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  EXPECT_EQ(v->find("server")->find("draining")->bool_or(false), true);
+  EXPECT_EQ(v->find("server")->find("completed")->int_or(-1), 1);
+  server.drain_and_stop();
+}
+
+// The guard the two-plane contract hangs on: switching the wall-clock
+// plane fully on (metrics + tracing) or fully off cannot change a single
+// result byte. Both runs must match the direct execute_job() bytes.
+TEST(ServeObs, DeterminismIsUnaffectedByObservability) {
+  const JobRequest req = small_cycle_job();
+  const std::string direct = canon(execute_job(0, req));
+  for (const bool wall_obs : {false, true}) {
+    ServerConfig config = test_config();
+    config.queue_workers = 2;
+    config.wall_obs = wall_obs;
+    Server server(config);
+    server.start();
+    Client client("127.0.0.1", server.port());
+    const auto a = client.submit(req);
+    const auto b = client.submit(req);
+    ASSERT_TRUE(a.accepted) << a.reason;
+    ASSERT_TRUE(b.accepted) << b.reason;
+    EXPECT_EQ(canon(client.wait_result(a.job_id)), direct)
+        << "wall_obs=" << wall_obs;
+    EXPECT_EQ(canon(client.wait_result(b.job_id)), direct)
+        << "wall_obs=" << wall_obs;
+    // With the plane off, no spans may be recorded at all.
+    if (!wall_obs) {
+      EXPECT_EQ(server.wall_trace().size(), 0u);
+    }
+    server.drain_and_stop();
+  }
+}
+
+// ====================================================================
 // 3. Protocol codec fuzz (WireFuzz style)
 // ====================================================================
 

@@ -20,11 +20,21 @@
 //               [--queue-cap 256] [--tenant-quota 0] [--recv-timeout 600]
 //               [--send-timeout 30] [--state-dir DIR]
 //               [--journal-fsync always|never] [--pid-file PATH]
+//               [--no-wall-obs] [--metrics-out PATH] [--metrics-every SECS]
+//               [--trace-out PATH] [--log-json PATH] [--log-level LEVEL]
 //
 // --port 0 binds an ephemeral port; the actual port is announced on stdout
 // as "fasda_serve: listening on HOST:PORT" so harnesses can parse it.
 // --pid-file writes the daemon pid once listening (and removes it on
 // graceful exit) so crash harnesses can aim their SIGKILL.
+//
+// Observability (DESIGN.md §17): the wall-clock plane is on by default and
+// scraped live over the socket with fasda_stat (kStats). --metrics-out
+// additionally rewrites a Prometheus text file every --metrics-every
+// seconds; --trace-out does the same with the Chrome trace of job spans —
+// the file a SIGKILLed incarnation leaves behind is what stitches its spans
+// to the next incarnation's. --log-json tees every log line into a
+// JSON-lines file with structured component/job/tenant fields.
 
 #include <unistd.h>
 
@@ -35,6 +45,7 @@
 
 #include "fasda/serve/server.hpp"
 #include "fasda/util/cli.hpp"
+#include "fasda/util/log.hpp"
 
 using namespace fasda;
 
@@ -46,7 +57,10 @@ int main(int argc, char** argv) {
         "                   [--queue-cap N] [--tenant-quota N]\n"
         "                   [--recv-timeout SECONDS] [--send-timeout SECONDS]\n"
         "                   [--state-dir DIR] [--journal-fsync always|never]\n"
-        "                   [--pid-file PATH]\n");
+        "                   [--pid-file PATH] [--no-wall-obs]\n"
+        "                   [--metrics-out PATH] [--metrics-every SECONDS]\n"
+        "                   [--trace-out PATH] [--log-json PATH]\n"
+        "                   [--log-level debug|info|warn|error|off]\n");
     return 0;
   }
 
@@ -76,6 +90,27 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string pid_file = cli.get_or("pid-file", "");
+
+  config.wall_obs = !cli.has("no-wall-obs");
+  config.metrics_out = cli.get_or("metrics-out", "");
+  config.metrics_every_seconds =
+      static_cast<int>(cli.get_or("metrics-every", 5L));
+  config.trace_out = cli.get_or("trace-out", "");
+  const std::string log_level = cli.get_or("log-level", "");
+  if (!log_level.empty()) {
+    try {
+      util::set_log_level(util::parse_log_level(log_level));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fasda_serve: %s\n", e.what());
+      return 2;
+    }
+  }
+  const std::string log_json = cli.get_or("log-json", "");
+  if (!log_json.empty() && !util::open_json_log(log_json)) {
+    std::fprintf(stderr, "fasda_serve: cannot open --log-json %s\n",
+                 log_json.c_str());
+    return 2;
+  }
 
   serve::Server server(config);
   try {
@@ -135,5 +170,6 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(server.jobs_completed()),
       static_cast<unsigned long long>(server.jobs_rejected()),
       static_cast<unsigned long long>(server.jobs_recovered()));
+  util::close_json_log();
   return 0;
 }

@@ -1,0 +1,72 @@
+// fasda_stat — admin scraper for a running fasda_serve daemon
+// (DESIGN.md §17).
+//
+// Dials the daemon and issues a kStats request, printing the wall-clock
+// observability body to stdout (or --out): JSON by default, the Prometheus
+// text exposition with --format prometheus. --ping instead prints the
+// enriched kPong health body (queue depth, workers, journal/fsync state,
+// recovery counters, uptime). Exit codes: 0 scraped, 1 connection or
+// protocol failure, 2 bad usage — so CI can assert a live daemon scrapes.
+//
+// Usage:
+//   fasda_stat [--host 127.0.0.1] --port P [--format json|prometheus]
+//              [--ping] [--out PATH] [--retries N]
+
+#include <cstdio>
+#include <string>
+
+#include "fasda/serve/client.hpp"
+#include "fasda/util/cli.hpp"
+
+using namespace fasda;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf(
+        "usage: fasda_stat [--host ADDR] --port P\n"
+        "                  [--format json|prometheus] [--ping]\n"
+        "                  [--out PATH] [--retries N]\n");
+    return 0;
+  }
+  const std::string host = cli.get_or("host", "127.0.0.1");
+  const long port = cli.get_or("port", 0L);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "fasda_stat: --port is required (1-65535)\n");
+    return 2;
+  }
+  const std::string format = cli.get_or("format", "json");
+  if (format != "json" && format != "prometheus") {
+    std::fprintf(stderr,
+                 "fasda_stat: --format must be json|prometheus, got %s\n",
+                 format.c_str());
+    return 2;
+  }
+  const std::string out_path = cli.get_or("out", "");
+
+  std::string body;
+  try {
+    serve::RetryPolicy policy;
+    policy.max_attempts = static_cast<int>(cli.get_or("retries", 5L));
+    serve::Client client(host, static_cast<std::uint16_t>(port), policy);
+    body = cli.has("ping") ? client.ping() : client.stats(format);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fasda_stat: %s\n", e.what());
+    return 1;
+  }
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "fasda_stat: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    if (body.empty() || body.back() != '\n') std::fputc('\n', f);
+    std::fclose(f);
+    return 0;
+  }
+  std::fwrite(body.data(), 1, body.size(), stdout);
+  if (body.empty() || body.back() != '\n') std::fputc('\n', stdout);
+  return 0;
+}

@@ -11,10 +11,22 @@ Checks the invariants the obs trace bus promises (DESIGN.md §12):
   * per (pid, tid) track, timestamps never decrease (metadata excluded);
   * args.cycle, when present, is a non-negative integer.
 
+With --serve the file is a wall-clock serve trace from the fasda_serve
+daemon (DESIGN.md §17) and the per-job span contract is checked instead of
+args.cycle:
+
+  * every non-metadata event carries args.job == its tid (job 0 is the
+    server-level track) and a positive integer args.span;
+  * a span id maps to exactly one job id within a file AND across all the
+    files on the command line — the cross-incarnation correlation token;
+  * --expect-stitched N requires at least N span ids to appear in two or
+    more of the given files (i.e. jobs whose life straddled a daemon
+    restart, stitched through the journal's kAdmitted records).
+
 Stdlib only; exit 0 if the trace is valid, 1 otherwise with one line per
 violation on stderr.
 
-Usage: validate_trace.py TRACE.json [TRACE2.json ...]
+Usage: validate_trace.py [--serve] [--expect-stitched N] TRACE.json ...
 """
 
 import json
@@ -23,7 +35,7 @@ import sys
 REQUIRED = {"ph", "pid", "tid", "name"}
 
 
-def validate(path):
+def validate(path, serve=False, span_owner=None, span_files=None):
     errors = []
 
     def err(i, msg):
@@ -77,9 +89,29 @@ def validate(path):
                        f"tid={track[1]}")
             else:
                 depth[track] -= 1
-        cycle = e.get("args", {}).get("cycle")
-        if cycle is not None and (not isinstance(cycle, int) or cycle < 0):
-            err(i, f"args.cycle {cycle!r} is not a non-negative integer")
+        args = e.get("args", {})
+        if serve:
+            job = args.get("job")
+            span = args.get("span")
+            if not isinstance(job, int) or job < 0:
+                err(i, f"args.job {job!r} is not a non-negative integer")
+                continue
+            if job != e["tid"]:
+                err(i, f"args.job {job} disagrees with tid {e['tid']}")
+            if not isinstance(span, int) or span <= 0:
+                err(i, f"args.span {span!r} is not a positive integer")
+                continue
+            owner = span_owner.setdefault(span, (path, job))
+            if owner[1] != job:
+                err(i, f"span {span} maps to job {job} here but to job "
+                       f"{owner[1]} in {owner[0]}")
+            if job != 0:  # the server track's span is per-incarnation
+                span_files.setdefault(span, set()).add(path)
+        else:
+            cycle = args.get("cycle")
+            if cycle is not None and (not isinstance(cycle, int) or
+                                      cycle < 0):
+                err(i, f"args.cycle {cycle!r} is not a non-negative integer")
 
     for (pid, tid), d in sorted(depth.items()):
         if d != 0:
@@ -91,12 +123,45 @@ def validate(path):
 
 
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    serve = False
+    expect_stitched = 0
+    paths = []
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--serve":
+            serve = True
+        elif a == "--expect-stitched":
+            i += 1
+            if i >= len(args) or not args[i].isdigit():
+                print("--expect-stitched needs a non-negative integer",
+                      file=sys.stderr)
+                return 2
+            expect_stitched = int(args[i])
+        else:
+            paths.append(a)
+        i += 1
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
+    if expect_stitched and not serve:
+        print("--expect-stitched requires --serve", file=sys.stderr)
+        return 2
+
     errors = []
-    for path in argv[1:]:
-        errors.extend(validate(path))
+    span_owner = {}  # span id -> (first file, job id)
+    span_files = {}  # span id -> set of files it appears in
+    for path in paths:
+        errors.extend(validate(path, serve, span_owner, span_files))
+    if serve:
+        stitched = sorted(s for s, fs in span_files.items() if len(fs) > 1)
+        if stitched:
+            print(f"stitched spans across incarnations: {len(stitched)}")
+        if len(stitched) < expect_stitched:
+            errors.append(
+                f"expected >= {expect_stitched} span id(s) stitched across "
+                f"trace files, found {len(stitched)}")
     for line in errors:
         print(line, file=sys.stderr)
     return 1 if errors else 0
